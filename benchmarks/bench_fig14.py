@@ -1,0 +1,18 @@
+"""Fig 14: speedup over the idealized sparse accelerator."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig14
+
+
+def test_fig14_speedup_over_ideal(benchmark, context):
+    rows = run_once(benchmark, fig14.run, context)
+    fig14.main(context)
+    by_name = {r.workload: r for r in rows}
+    # Paper: OEI-app geomeans 1.21x-2.62x; cg/bgs 0.75x-1.20x band.
+    for name, row in by_name.items():
+        if name in ("cg", "bgs"):
+            assert 0.7 < row.geomean < 1.6, name
+        else:
+            assert 1.1 < row.geomean < 2.7, name
+    # Paper: up to 3.59x overall.
+    assert max(r.max for r in by_name.values()) < 3.7

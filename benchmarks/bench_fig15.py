@@ -1,0 +1,21 @@
+"""Fig 15: bandwidth-utilization timelines of the four highlighted
+(workload, matrix) pairs."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig15
+
+
+def test_fig15_bandwidth_timelines(benchmark, context):
+    series = run_once(benchmark, fig15.run, context)
+    fig15.main(context)
+    by_pair = {(s.workload, s.matrix): s for s in series}
+    assert len(by_pair) == 4
+    # Every sampled run yields the 25 bins of the paper's 4% intervals.
+    for s in series:
+        assert len(s.samples) == 25
+    # sssp-bu is the well-performing case (paper: 2.9x, sustained high
+    # utilization); kcore-eu is compute-limited (paper: 1.18x).
+    sssp_bu = by_pair[("sssp", "bu")]
+    kcore_eu = by_pair[("kcore", "eu")]
+    assert sssp_bu.speedup_over_ideal > kcore_eu.speedup_over_ideal
+    assert sssp_bu.mean_utilization > 0.8

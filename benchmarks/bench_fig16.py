@@ -1,0 +1,18 @@
+"""Fig 16: speedup over the CPU STA framework (iso-GPU and iso-CPU)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig16
+
+
+def test_fig16_speedup_over_cpu(benchmark, context):
+    rows = run_once(benchmark, fig16.run, context)
+    fig16.main(context)
+    non_gcn = [r for r in rows if r.workload != "gcn"]
+    geomeans = [r.iso_gpu_geomean for r in non_gcn]
+    # Paper: 12.20x-35.14x per-application geomeans (iso-GPU).
+    assert min(geomeans) > 8.0
+    assert max(geomeans) < 45.0
+    # Paper: iso-CPU still wins 1.31x-3.57x (pure OEI benefit).
+    iso_cpu = [r.iso_cpu_geomean for r in non_gcn]
+    assert min(iso_cpu) > 1.0
+    assert max(iso_cpu) < 4.5

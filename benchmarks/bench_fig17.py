@@ -1,0 +1,14 @@
+"""Fig 17: speedup over the GPU framework (bfs, kcore, pr, sssp)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig17
+
+
+def test_fig17_speedup_over_gpu(benchmark, context):
+    rows = run_once(benchmark, fig17.run, context)
+    fig17.main(context)
+    overall = fig17.overall_geomean(rows)
+    # Paper: 4.65x geometric mean.
+    assert 2.5 < overall < 7.5
+    for row in rows:
+        assert row.geomean > 1.0, row.workload

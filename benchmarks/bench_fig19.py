@@ -1,0 +1,20 @@
+"""Fig 19: sensitivity to sparse tensor preprocessing."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig19
+
+
+def test_fig19_preprocessing_sensitivity(benchmark, context):
+    rows = run_once(benchmark, fig19.run, context)
+    fig19.main(context)
+    by_variant = {r.variant: r for r in rows}
+    # Paper: unoptimized Sparsepipe still achieves 1.37x over baseline.
+    assert by_variant["none"].geomean > 1.2
+    # Both optimizations together never lose to no optimization.
+    assert by_variant["both"].geomean >= by_variant["none"].geomean
+    # Blocked storage alone helps (paper: up to 1.12x).
+    assert by_variant["blocked"].geomean > by_variant["none"].geomean
+    # Combined benefit in the paper's 1.05x-1.34x band (slack for the
+    # synthetic analogs).
+    gain = by_variant["both"].geomean / by_variant["none"].geomean
+    assert 1.0 < gain < 1.45

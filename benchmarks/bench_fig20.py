@@ -1,0 +1,26 @@
+"""Fig 20: blocked-storage footprint and performance per area."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig20
+
+
+def test_fig20a_blocked_storage(benchmark, context):
+    rows = run_once(benchmark, fig20.run_storage, context)
+    average = sum(r.ratio_reordered for r in rows) / len(rows)
+    # Paper: blocked dual storage is 39.2% of naive dual storage.
+    assert 0.30 < average < 0.50
+    for row in rows:
+        assert row.ratio_reordered < 0.6, row.matrix
+
+
+def test_fig20b_perf_per_area(benchmark, context):
+    rows = run_once(benchmark, fig20.run_perf_per_area, context)
+    fig20.main(context)
+    by_system = {r.system: r for r in rows}
+    sp = by_system["sparsepipe"]
+    gpu = by_system["gpu"]
+    # Paper: 9.84x over CPU and 5.38x over GPU.
+    assert 5.0 < sp.perf_per_area < 20.0
+    assert 2.0 < sp.perf_per_area / gpu.perf_per_area < 10.0
+    # Area calibration: the paper's published die size.
+    assert abs(sp.area_mm2 - 253.95) < 3.0

@@ -1,0 +1,14 @@
+"""Fig 21: Sparsepipe bandwidth utilization."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig21
+
+
+def test_fig21_bandwidth_utilization(benchmark, context):
+    rows = run_once(benchmark, fig21.run, context)
+    fig21.main(context)
+    stats = fig21.summary(rows)
+    # Paper: 82.93% across all applications, 92.94% memory-bound only.
+    assert stats["all"] > 0.75
+    assert stats["memory_bound"] > 0.85
+    assert stats["memory_bound"] >= stats["all"]

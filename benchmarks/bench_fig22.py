@@ -1,0 +1,18 @@
+"""Fig 22: CPU/GPU bandwidth utilization per matrix."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig22
+
+
+def test_fig22_cpu_gpu_utilization(benchmark, context):
+    rows = run_once(benchmark, fig22.run, context)
+    fig22.main(context)
+    by_system = {r.system: r for r in rows}
+    cpu, gpu, sp = by_system["cpu"], by_system["gpu"], by_system["sparsepipe"]
+    # Sparsepipe sustains higher utilization than both frameworks on
+    # every matrix (the paper's Fig 21-vs-22 comparison).
+    for matrix in cpu.utilization:
+        assert sp.utilization[matrix] > cpu.utilization[matrix], matrix
+        assert sp.utilization[matrix] > gpu.utilization[matrix], matrix
+    # Caches depress apparent utilization on the small matrices.
+    assert gpu.utilization["ca"] < gpu.utilization["eu"]

@@ -1,0 +1,18 @@
+"""Fig 23: relative energy vs the baseline accelerator."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig23
+
+
+def test_fig23_relative_energy(benchmark, context):
+    rows = run_once(benchmark, fig23.run, context)
+    fig23.main(context)
+    stats = fig23.savings_summary(rows)
+    # Paper: 54.98% total / 50.32% memory / 39.45% buffer savings.
+    assert stats["total"] > 25.0
+    assert stats["memory"] > 30.0
+    assert stats["buffer"] > 10.0
+    # OEI applications save roughly half the memory energy; the
+    # producer-consumer-only solvers save less.
+    by_name = {r.workload: r for r in rows}
+    assert by_name["pr"].relative_memory < by_name["cg"].relative_memory

@@ -1,0 +1,49 @@
+"""Future-work study (paper Section VIII): the OEI dataflow on
+general-purpose hardware, quantified.
+
+Compares, per matrix: the plain CPU framework, a CPU executing OEI in
+software (halved matrix traffic but software buffer management and
+synchronization), and the iso-CPU Sparsepipe (hardware support at the
+same 40 GB/s). The paper's Section II-B argument — software-only OEI
+"negat[es] the potential benefits" — should show as software OEI
+landing between the two.
+"""
+
+from benchmarks.conftest import run_once
+from repro.arch.config import CPU_DDR4, SparsepipeConfig
+from repro.arch.simulator import SparsepipeSimulator
+from repro.baselines import CPUModel, SoftwareOEIModel
+from repro.experiments.report import format_table
+from repro.matrices.suite import SUITE
+from repro.util.numeric import geomean
+
+WORKLOAD = "pr"
+
+
+def test_future_work_software_oei(benchmark, context):
+    def sweep():
+        iso_cpu = SparsepipeConfig().with_memory(CPU_DDR4)
+        rows = []
+        for matrix in context.all_matrices():
+            profile = context.profile(WORKLOAD, matrix)
+            prep = context.prepared(matrix)
+            paper_nnz = SUITE[matrix].paper_nnz
+            cpu = CPUModel().run(profile, prep, paper_nnz=paper_nnz)
+            sw = SoftwareOEIModel().run(profile, prep, paper_nnz=paper_nnz)
+            hw = SparsepipeSimulator(iso_cpu).run(profile, prep, paper_nnz=paper_nnz)
+            rows.append((matrix, cpu.seconds / sw.seconds, cpu.seconds / hw.seconds))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print(format_table(
+        ["matrix", "software OEI vs CPU", "hardware (iso-CPU) vs CPU"],
+        rows,
+        title=f"Future work: OEI on general-purpose hardware ({WORKLOAD})",
+    ))
+    sw_gain = geomean(r[1] for r in rows)
+    hw_gain = geomean(r[2] for r in rows)
+    print(f"geomean: software OEI {sw_gain:.2f}x, hardware {hw_gain:.2f}x")
+    # Hardware support must retain a clear edge over software OEI
+    # (Section II-B), and software OEI must not dominate hardware.
+    assert hw_gain > sw_gain
+    assert hw_gain > 1.2

@@ -1,0 +1,11 @@
+"""Whole-evaluation summary: every Section VI headline claim."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import summary
+
+
+def test_summary_all_claims_hold(benchmark, context):
+    claims = run_once(benchmark, summary.run, context)
+    summary.main(context)
+    failing = [c.claim for c in claims if not c.holds]
+    assert not failing, f"claims outside the paper's bands: {failing}"

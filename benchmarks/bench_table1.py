@@ -1,0 +1,16 @@
+"""Table I: on-chip footprint of the OEI reuse window."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_table1_reuse_footprint(benchmark):
+    rows = run_once(benchmark, table1.run)
+    table1.main()
+    # Shape assertions against the paper's Table I.
+    by_name = {r.matrix: r for r in rows}
+    assert by_name["bu"].max_pct > 80.0         # paper: 90.0
+    assert by_name["ca"].avg_pct > 20.0         # paper: 32.9
+    assert by_name["ro"].max_pct < 5.0          # paper: 1.9
+    assert by_name["eu"].max_pct < 10.0         # paper: 4.3
+    assert by_name["wi"].avg_pct > by_name["co"].avg_pct

@@ -1,0 +1,23 @@
+"""Shared state for the benchmark harness.
+
+One :class:`ExperimentContext` is shared across all benches so the
+(workload x matrix x architecture) sweep is computed once; each bench
+then times and prints its own table/figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a driver exactly once (the sweeps are deterministic and
+    heavy; statistical repetition adds nothing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+"""Automatic cross-iteration-reuse discovery from plain code.
+
+The paper's future-work question (Section VIII): can a compiler find
+applications with cross-iteration reuse automatically? Here we write a
+custom STA loop body with the *tracing* frontend — ordinary
+GraphBLAS-mini calls that execute for real — and let the dataflow
+compiler decide whether the OEI dataflow applies, with no hand-built
+graph. The same analysis correctly rejects a CG-style body whose step
+size reduces the fresh SpMV output.
+
+Run with:  python examples/auto_oei_discovery.py
+"""
+
+import numpy as np
+
+from repro.dataflow import compile_program
+from repro.dataflow.trace import Tracer
+from repro.graphblas import Matrix, Vector, connected_components, triangle_count
+from repro.matrices import watts_strogatz
+from repro.semiring import MUL_ADD, PLUS, TIMES
+
+
+def traced_heat_diffusion(graph: Matrix):
+    """A custom workload nobody hand-registered: damped heat diffusion
+    ``h' = 0.7 * (h x A) + 0.3 * h0_scalar``."""
+    n = graph.nrows
+    tracer = Tracer("heat")
+    h = tracer.source("h", Vector.dense(n, 1.0))
+    a = tracer.constant_matrix("A", graph)
+    spread = tracer.vxm(h, a, MUL_ADD)
+    damped = tracer.apply_bind(spread, TIMES, 0.7)
+    renewed = tracer.apply_scalar(damped, PLUS, "ambient", 0.3)
+    tracer.carry(renewed, h)
+    return tracer
+
+
+def traced_cg_like(graph: Matrix):
+    """A body whose scalar comes from a same-iteration reduction —
+    structurally ineligible for cross-iteration reuse."""
+    n = graph.nrows
+    tracer = Tracer("cg_like")
+    p = tracer.source("p", Vector.dense(n, 1.0))
+    a = tracer.constant_matrix("A", graph)
+    q = tracer.vxm(p, a, MUL_ADD)
+    alpha = tracer.dot(p, q, MUL_ADD, scalar_name="alpha")
+    step = tracer.apply_scalar(q, TIMES, "alpha", alpha.value)
+    tracer.carry(step, p)
+    return tracer
+
+
+def main() -> None:
+    graph = Matrix(watts_strogatz(2000, k=8, rewire=0.2, seed=11))
+    print(f"small-world graph: {graph.nrows} vertices, {graph.nnz} edges")
+    labels, n_components = connected_components(graph)
+    print(f"graph facts: {n_components} weakly-connected components, "
+          f"{triangle_count(graph)} triangles\n")
+
+    for build in (traced_heat_diffusion, traced_cg_like):
+        tracer = build(graph)
+        program = compile_program(tracer.graph)
+        verdict = (
+            f"OEI legal (distance {program.iteration_distance}, "
+            f"{program.n_path_ops} fused e-wise ops)"
+            if program.has_oei
+            else "no OEI path (producer-consumer fusion only)"
+        )
+        print(f"{tracer.graph.name:8} -> {verdict}")
+
+    # The discovered program is executable: prove OEI == sequential.
+    from repro.formats import CSCMatrix, CSRMatrix
+    from repro.oei import assert_oei_matches_reference
+
+    tracer = traced_heat_diffusion(graph)
+    program = compile_program(tracer.graph)
+    csc = CSCMatrix.from_coo(graph.coo)
+    csr = CSRMatrix.from_coo(graph.coo)
+    assert_oei_matches_reference(
+        csc, csr, program, np.ones(graph.nrows), 6,
+        scalar_update=lambda k, x: {"ambient": 0.3},
+    )
+    print("\ntraced heat-diffusion program validated: OEI pair schedule "
+          "== sequential execution over 6 iterations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Design-space exploration of the Sparsepipe architecture.
+
+Sweeps buffer capacity, sub-tensor width, and memory technology for
+PageRank on a skewed matrix — the knobs a silicon team would actually
+turn, with the cost model of Fig 20b attached.
+
+Run with:  python examples/design_space.py
+"""
+
+from repro.arch import (
+    AreaModel,
+    CPU_DDR4,
+    GPU_GDDR6X,
+    SparsepipeConfig,
+    SparsepipeSimulator,
+)
+from repro.experiments.report import format_table
+from repro.graphblas import Matrix
+from repro.matrices import rmat
+from repro.preprocess import preprocess
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    coo = rmat(6000, 90_000, a=0.62, seed=21)
+    graph = Matrix(coo)
+    prep = preprocess(coo, reorder="vanilla", block_size=256)
+    profile = get_workload("pr").profile(graph)
+    area = AreaModel()
+    print(f"workload: PageRank, {graph.nnz} non-zeros, "
+          f"{profile.n_iterations} iterations\n")
+
+    # Buffer capacity sweep (with the matching die cost).
+    rows = []
+    for kib in (16, 64, 256, 1024, 4096):
+        cfg = SparsepipeConfig(buffer_bytes=kib * 1024)
+        r = SparsepipeSimulator(cfg).run(profile, prep)
+        # Scale the area model's 64 MB point linearly for the sweep.
+        mm2 = area.sparsepipe_mm2(buffer_mb=kib / 1024.0 * 64)
+        rows.append((f"{kib} KiB", round(r.cycles),
+                     round(r.oom_evicted_bytes / 1024), f"{mm2:.1f}"))
+    print(format_table(
+        ["buffer", "cycles", "evicted (KiB)", "die (mm^2, scaled)"],
+        rows, title="Buffer capacity sweep",
+    ))
+
+    # Sub-tensor width sweep.
+    rows = []
+    for t in (16, 64, 128, 256, 1024):
+        cfg = SparsepipeConfig(subtensor_cols=t)
+        r = SparsepipeSimulator(cfg).run(profile, prep)
+        rows.append((t, round(r.cycles), f"{r.bandwidth_utilization:.0%}"))
+    print()
+    print(format_table(
+        ["subtensor cols", "cycles", "bandwidth util"],
+        rows, title="Sub-tensor width sweep",
+    ))
+
+    # Memory technology (Table II).
+    rows = []
+    for mem in (CPU_DDR4, GPU_GDDR6X):
+        cfg = SparsepipeConfig(memory=mem)
+        r = SparsepipeSimulator(cfg).run(profile, prep)
+        rows.append((mem.name, mem.bandwidth_gbps, round(r.cycles)))
+    print()
+    print(format_table(
+        ["memory", "GB/s", "cycles"],
+        rows, title="Memory technology (iso-CPU vs iso-GPU, Table II)",
+    ))
+
+    # Runtime sub-tensor exploration (Section IV-F).
+    from repro.arch.autotune import autotune_subtensor_cols
+
+    best, tuned = autotune_subtensor_cols(profile, prep)
+    print(f"\nauto-tuned sub-tensor width: {best} columns "
+          f"({tuned.cycles:,.0f} cycles)")
+
+    # The OEI pipeline schedule itself (Fig 13 as ASCII).
+    from repro.arch.pipeline_viz import render_pipeline
+
+    print("\nOEI pipeline schedule (first steps of a pair):")
+    print(render_pipeline(graph.ncols, best, max_steps=10))
+
+
+if __name__ == "__main__":
+    main()

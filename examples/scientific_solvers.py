@@ -1,0 +1,60 @@
+"""Scientific computing: Krylov solvers on a mesh Laplacian.
+
+CG, BiCGStab, and GMRES solve the same SPD system built from a FEM-like
+banded mesh. CG and BiCGStab cannot use cross-iteration reuse (their
+step sizes reduce the fresh SpMV output — the dataflow compiler proves
+it), while pipelined GMRES can; the simulation shows exactly that gap.
+
+Run with:  python examples/scientific_solvers.py
+"""
+
+import numpy as np
+
+from repro.arch import SparsepipeConfig, SparsepipeSimulator
+from repro.baselines import IdealAccelerator
+from repro.experiments.report import format_table
+from repro.graphblas import Matrix
+from repro.matrices import banded_mesh
+from repro.preprocess import preprocess
+from repro.workloads import get_workload
+from repro.workloads.solvers import spd_system
+
+
+def main() -> None:
+    coo = banded_mesh(5000, 40, 60_000, seed=5)
+    graph = Matrix(coo)
+    system = spd_system(graph)
+    print(f"mesh: {graph.nrows} nodes; SPD system with {system.nnz} non-zeros\n")
+
+    prep = preprocess(coo, reorder="vanilla", block_size=256)
+    config = SparsepipeConfig()
+    rows = []
+    for name in ("cg", "bgs", "gmres"):
+        workload = get_workload(name)
+        result = workload.run_functional(graph)
+        program = workload.program()
+        profile = workload.profile(graph)
+        sp = SparsepipeSimulator(config).run(profile, prep)
+        ideal = IdealAccelerator(config).run(profile, prep)
+        rows.append(
+            (
+                name,
+                result.n_iterations,
+                f"{result.extras['residual']:.2e}",
+                "yes" if program.has_oei else "no",
+                sp.speedup_over(ideal),
+            )
+        )
+    print(format_table(
+        ["solver", "iterations", "residual", "cross-iteration reuse", "vs ideal"],
+        rows,
+        title="Krylov solvers: convergence and Sparsepipe benefit",
+    ))
+    print(
+        "\ncg/bgs gain only producer-consumer fusion (paper: 0.75x-1.20x); "
+        "pipelined GMRES fuses consecutive SpMVs under OEI."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs fail; this shim keeps the legacy
+``pip install -e . --no-build-isolation`` / ``python setup.py develop``
+paths working. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

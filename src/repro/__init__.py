@@ -1,0 +1,50 @@
+"""Sparsepipe reproduction — sparse inter-operator dataflow
+architecture with cross-iteration reuse (Zhang, Tsai, Tseng; MICRO
+2024), rebuilt as a Python library.
+
+Top-level convenience re-exports cover the common end-to-end path:
+build a matrix, run a workload, compile its loop body, and simulate it
+on Sparsepipe vs the baselines. Each subpackage's docstring maps it to
+the paper sections it implements.
+"""
+
+from repro.arch.config import SparsepipeConfig
+from repro.arch.simulator import SparsepipeSimulator
+from repro.baselines.cpu import CPUModel
+from repro.baselines.gpu import GPUModel
+from repro.baselines.ideal_accelerator import IdealAccelerator
+from repro.baselines.oracle import OracleAccelerator
+from repro.dataflow.compiler import analyze, compile_program
+from repro.dataflow.graph import DataflowGraph
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.vector import Vector
+from repro.matrices.suite import load_suite_matrix, suite_names
+from repro.oei.executor import run_oei_pairs, run_reference
+from repro.oei.reuse import reuse_footprint
+from repro.preprocess.pipeline import preprocess
+from repro.workloads.registry import get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Matrix",
+    "Vector",
+    "DataflowGraph",
+    "analyze",
+    "compile_program",
+    "run_oei_pairs",
+    "run_reference",
+    "reuse_footprint",
+    "preprocess",
+    "SparsepipeConfig",
+    "SparsepipeSimulator",
+    "IdealAccelerator",
+    "OracleAccelerator",
+    "CPUModel",
+    "GPUModel",
+    "get_workload",
+    "workload_names",
+    "load_suite_matrix",
+    "suite_names",
+    "__version__",
+]

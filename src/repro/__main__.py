@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``list``                      — workloads, matrices, architectures
+- ``experiment <id> [...]``     — run table1 / fig14..fig23 / all
+- ``simulate -w pr -m wi``      — one (workload, matrix) on all archs
+- ``analyze <matrix.mtx>``      — Table-I reuse analysis of a file
+- ``footprint``                 — Table I over the built-in suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.experiments.runner import ARCHITECTURES, ExperimentContext
+
+_EXPERIMENTS = (
+    "table1", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+    "fig20", "fig21", "fig22", "fig23",
+)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.matrices import SUITE, suite_names
+    from repro.workloads import WORKLOADS, workload_names
+
+    print("workloads (Table III):")
+    for name in workload_names():
+        w = WORKLOADS[name]
+        oei = "cross-iteration" if w.program().has_oei else "producer-consumer"
+        print(f"  {name:6} {w.semiring:9} {oei:17} {w.domain}")
+    print("\nmatrices (Table I analogs):")
+    for name in suite_names():
+        spec = SUITE[name]
+        print(f"  {name:3} {spec.structure:28} paper {spec.paper_rows} rows / "
+              f"{spec.paper_nnz} nnz")
+    print(f"\narchitectures: {', '.join(ARCHITECTURES)}")
+    print(f"experiments: {', '.join(_EXPERIMENTS)}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    ids = list(_EXPERIMENTS) if "all" in args.ids else args.ids
+    unknown = [i for i in ids if i not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; available: {_EXPERIMENTS}",
+              file=sys.stderr)
+        return 2
+    context = ExperimentContext()
+    for exp_id in ids:
+        module = importlib.import_module(f"repro.experiments.{exp_id}")
+        if exp_id == "table1":
+            module.main()
+        else:
+            module.main(context)
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+
+    context = ExperimentContext()
+    rows = []
+    for arch in args.arch:
+        result = context.simulate(arch, args.workload, args.matrix)
+        rows.append(
+            (arch, f"{result.seconds * 1e6:.2f}", round(result.cycles),
+             f"{result.bandwidth_utilization:.0%}",
+             f"{result.total_bytes / 1e6:.2f}")
+        )
+    print(format_table(
+        ["architecture", "time (us)", "cycles", "bw util", "DRAM (MB)"],
+        rows,
+        title=f"{args.workload} on {args.matrix}",
+    ))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.formats import read_matrix_market
+    from repro.oei import reuse_footprint
+    from repro.util import human_bytes
+
+    coo = read_matrix_market(args.path)
+    stats = reuse_footprint(coo)
+    print(f"{args.path}: {coo.shape}, {coo.nnz} non-zeros")
+    print(f"OEI reuse window: max {stats.max_pct:.1f}% "
+          f"({human_bytes(stats.max_bytes())}), avg {stats.avg_pct:.1f}%")
+    return 0
+
+
+def _cmd_footprint(_args: argparse.Namespace) -> int:
+    from repro.experiments import table1
+
+    table1.main()
+    return 0
+
+
+def _cmd_summary(_args: argparse.Namespace) -> int:
+    from repro.experiments import summary
+
+    summary.main(ExperimentContext())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_all
+
+    path = export_all(args.path, ExperimentContext())
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Sparsepipe reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads / matrices / experiments")
+
+    p_exp = sub.add_parser("experiment", help="run experiment drivers")
+    p_exp.add_argument("ids", nargs="+",
+                       help=f"experiment ids ({', '.join(_EXPERIMENTS)}, or 'all')")
+
+    p_sim = sub.add_parser("simulate", help="simulate one (workload, matrix)")
+    p_sim.add_argument("-w", "--workload", required=True)
+    p_sim.add_argument("-m", "--matrix", required=True)
+    p_sim.add_argument("-a", "--arch", nargs="+", default=list(ARCHITECTURES))
+
+    p_an = sub.add_parser("analyze", help="Table-I analysis of a MatrixMarket file")
+    p_an.add_argument("path")
+
+    sub.add_parser("footprint", help="Table I over the built-in suite")
+    sub.add_parser("summary", help="all Section VI headline claims, paper vs measured")
+
+    p_ex = sub.add_parser("export", help="run everything and write results as JSON")
+    p_ex.add_argument("path", help="output JSON path")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "simulate": _cmd_simulate,
+        "analyze": _cmd_analyze,
+        "footprint": _cmd_footprint,
+        "summary": _cmd_summary,
+        "export": _cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The Sparsepipe architecture simulator (Section IV / V-A).
+
+An event-driven simulator at OEI pipeline-step granularity: each step
+moves one sub-tensor through one stage of the OS / E-Wise / IS pipeline
+(Fig 13), and every component charges cycles and memory traffic from the
+real non-zero structure of the (preprocessed) input matrix.
+
+- :mod:`repro.arch.config` — architecture + memory configurations
+  (Table II presets),
+- :mod:`repro.arch.memory` — DRAM controller model with per-category
+  traffic accounting,
+- :mod:`repro.arch.buffer` — the dual-sparse on-chip buffer: residency
+  tracking, eviction of far-reload rows on OOM, repacking stats,
+- :mod:`repro.arch.cores` — OS / E-Wise / IS core timing,
+- :mod:`repro.arch.loaders` — per-step load plans derived from matrix
+  structure, and the eager CSR prefetcher (Fig 9),
+- :mod:`repro.arch.simulator` — the pipeline control loop,
+- :mod:`repro.arch.energy` / :mod:`repro.arch.area` — energy and area
+  models (Figs 20b and 23).
+"""
+
+from repro.arch.config import (
+    MemoryConfig,
+    SparsepipeConfig,
+    CPU_DDR4,
+    GPU_GDDR6X,
+    scaled_buffer_bytes,
+)
+from repro.arch.stats import BandwidthSample, SimResult, TrafficBreakdown
+from repro.arch.simulator import SparsepipeSimulator
+from repro.arch.energy import EnergyModel, EnergyBreakdown
+from repro.arch.area import AreaModel
+
+__all__ = [
+    "MemoryConfig",
+    "SparsepipeConfig",
+    "CPU_DDR4",
+    "GPU_GDDR6X",
+    "scaled_buffer_bytes",
+    "SparsepipeSimulator",
+    "SimResult",
+    "TrafficBreakdown",
+    "BandwidthSample",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "AreaModel",
+]

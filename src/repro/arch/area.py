@@ -1,0 +1,48 @@
+"""Area model (Section VI-G, Fig 20b).
+
+The paper synthesizes Sparsepipe RTL at 45 nm and scales to TSMC N5:
+253.95 mm^2 total with the on-chip buffer contributing 78%. This model
+is calibrated to those two published figures — the buffer density and
+per-PE area below reproduce them exactly for the evaluated
+configuration (64 MB buffer, 3 cores x 1024 PEs) — and is then used
+parametrically for ablations and the performance-per-area comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Die areas of the comparison systems, mm^2 (Section VI-G; the CPU
+#: figure is the Zen3 CCD plus stacked V-cache of the 5800X3D).
+GPU_AREA_MM2 = 294.0
+CPU_AREA_MM2 = 121.0
+
+#: The paper's published result, used for calibration checks.
+PAPER_SPARSEPIPE_AREA_MM2 = 253.95
+PAPER_BUFFER_SHARE = 0.78
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Parametric N5 area estimates."""
+
+    sram_mm2_per_mb: float = PAPER_SPARSEPIPE_AREA_MM2 * PAPER_BUFFER_SHARE / 64.0
+    pe_mm2: float = 0.0150
+    control_mm2: float = 9.8  # loaders, dispatchers, scatter network
+
+    def sparsepipe_mm2(self, buffer_mb: float = 64.0, n_pes: int = 3 * 1024) -> float:
+        """Total die area of a Sparsepipe instance."""
+        if buffer_mb < 0 or n_pes < 0:
+            raise ValueError("area parameters must be non-negative")
+        return self.sram_mm2_per_mb * buffer_mb + self.pe_mm2 * n_pes + self.control_mm2
+
+    def buffer_share(self, buffer_mb: float = 64.0, n_pes: int = 3 * 1024) -> float:
+        """Fraction of the die spent on the buffer (paper: 78%)."""
+        total = self.sparsepipe_mm2(buffer_mb, n_pes)
+        return self.sram_mm2_per_mb * buffer_mb / total
+
+    def perf_per_area(self, relative_perf: float, area_mm2: float) -> float:
+        """Performance-per-area figure of merit (Fig 20b)."""
+        if area_mm2 <= 0:
+            raise ValueError(f"area must be positive, got {area_mm2}")
+        return relative_perf / area_mm2

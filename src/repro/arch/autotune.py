@@ -1,0 +1,66 @@
+"""Sub-tensor size auto-tuning (Section IV-F).
+
+The paper: Sparsepipe "can either operate on a fixed sub-tensor size
+for an already optimized configuration or explore the optimal
+sub-tensor size in the initial steps of the OEI dataflow". This module
+implements that exploration: candidate widths are evaluated on a
+bounded prefix of the run (the "initial steps") and the fastest is
+adopted for the remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.arch.config import SparsepipeConfig
+from repro.arch.profile import WorkloadProfile
+from repro.arch.simulator import SparsepipeSimulator
+from repro.arch.stats import SimResult
+from repro.errors import ConfigError
+from repro.formats.coo import COOMatrix
+from repro.preprocess.pipeline import PreprocessResult
+
+#: Default widths explored, bracketing the paper's configuration.
+DEFAULT_CANDIDATES = (32, 64, 128, 256, 512)
+
+
+def autotune_subtensor_cols(
+    profile: WorkloadProfile,
+    matrix: Union[COOMatrix, PreprocessResult],
+    config: SparsepipeConfig = SparsepipeConfig(),
+    candidates: Sequence[int] = DEFAULT_CANDIDATES,
+    paper_nnz: Optional[int] = None,
+    probe_iterations: int = 2,
+) -> Tuple[int, SimResult]:
+    """Pick the fastest sub-tensor width by probing one OEI pair.
+
+    Returns ``(best_width, full_run_result_at_best_width)``. The probe
+    charges only ``probe_iterations`` iterations per candidate, so the
+    exploration cost stays a small fraction of the full run — exactly
+    the paper's "initial steps" budget.
+    """
+    if not candidates:
+        raise ConfigError("autotuning needs at least one candidate width")
+    if probe_iterations < 1:
+        raise ConfigError(f"probe_iterations must be >= 1, got {probe_iterations}")
+    probe_profile = replace(
+        profile, n_iterations=min(probe_iterations, profile.n_iterations)
+    )
+    best_width = None
+    best_cycles = None
+    for width in candidates:
+        if width <= 0:
+            raise ConfigError(f"sub-tensor width must be positive, got {width}")
+        probe_config = replace(config, subtensor_cols=int(width))
+        probe = SparsepipeSimulator(probe_config).run(
+            probe_profile, matrix, paper_nnz=paper_nnz
+        )
+        if best_cycles is None or probe.cycles < best_cycles:
+            best_cycles = probe.cycles
+            best_width = int(width)
+    final_config = replace(config, subtensor_cols=best_width)
+    result = SparsepipeSimulator(final_config).run(
+        profile, matrix, paper_nnz=paper_nnz
+    )
+    return best_width, result

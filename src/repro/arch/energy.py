@@ -1,0 +1,54 @@
+"""Energy model (Section V-A, Fig 23).
+
+Per-event energy constants in the style of Accelergy/Cacti-driven
+estimation: every DRAM byte, SRAM byte, and PE operation costs a fixed
+energy. The paper reports *relative* energy between Sparsepipe and the
+baseline accelerator running identical workloads, which this model
+reproduces directly from the simulators' traffic and operation counts.
+
+Constants are representative of a ~5 nm node with GDDR6X memory
+(DRAM ~15 pJ/byte, large SRAM ~1 pJ/byte, a 64-bit PE op ~0.8 pJ);
+absolute Joules are not the quantity under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.stats import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy per category, in Joules (Fig 23's three stacks)."""
+
+    compute_j: float
+    memory_j: float
+    buffer_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.memory_j + self.buffer_j
+
+    def relative_to(self, other: "EnergyBreakdown") -> float:
+        """This design's total energy as a fraction of ``other``'s."""
+        if other.total_j <= 0:
+            raise ValueError("reference energy must be positive")
+        return self.total_j / other.total_j
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy constants."""
+
+    dram_pj_per_byte: float = 15.0
+    sram_pj_per_byte: float = 1.0
+    op_pj: float = 0.8
+
+    def evaluate(self, result: SimResult) -> EnergyBreakdown:
+        """Energy of one simulated run."""
+        return EnergyBreakdown(
+            compute_j=result.compute_ops * self.op_pj * 1e-12,
+            memory_j=result.total_bytes * self.dram_pj_per_byte * 1e-12,
+            buffer_j=result.sram_access_bytes * self.sram_pj_per_byte * 1e-12,
+        )

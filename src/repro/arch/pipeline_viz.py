@@ -1,0 +1,50 @@
+"""Text rendering of the OEI pipeline schedule — Fig 13 as ASCII.
+
+``render_pipeline`` draws, for a handful of sub-tensors, which pipeline
+stage touches which sub-tensor at each step: the CSC loader one step
+ahead of the OS stage, the e-wise stage one behind, the IS stage two
+behind. Useful in docs and for eyeballing schedule changes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.oei.schedule import OEISchedule
+
+#: Row order of the rendering, matching Fig 13 top-to-bottom.
+STAGES = ("csc load", "os", "e-wise", "is")
+
+
+def render_pipeline(n: int, subtensor_cols: int, max_steps: int = 12) -> str:
+    """Render the schedule of one OEI pair as an ASCII Gantt chart.
+
+    Cells contain the sub-tensor index each stage processes at that
+    step (``.`` when idle); the CSC loader runs one step ahead of the
+    OS stage per Fig 13.
+    """
+    schedule = OEISchedule(n, subtensor_cols)
+    n_steps = min(schedule.n_steps + 1, max_steps)
+    header = "step      " + " ".join(f"{s:>3}" for s in range(n_steps))
+    lines: List[str] = [header, "-" * len(header)]
+    for stage in STAGES:
+        cells = []
+        for step in range(n_steps):
+            if stage == "csc load":
+                target = step + 1  # loading for the OS stage of step+1
+                sub = (
+                    schedule.subtensor(target)
+                    if 0 <= target < schedule.n_subtensors
+                    else None
+                )
+            elif stage == "os":
+                sub = schedule.os_at(step)
+            elif stage == "e-wise":
+                sub = schedule.ewise_at(step)
+            else:
+                sub = schedule.is_at(step)
+            cells.append(f"{sub.index:>3}" if sub is not None else "  .")
+        lines.append(f"{stage:<9} " + " ".join(cells))
+    if schedule.n_steps + 1 > max_steps:
+        lines.append(f"... ({schedule.n_steps} steps total)")
+    return "\n".join(lines)

@@ -1,0 +1,284 @@
+"""The Sparsepipe pipeline simulator (Sections IV-D and V-A).
+
+``SparsepipeSimulator.run`` walks every loop iteration of a workload
+over the preprocessed input matrix. Iterations are fused in OEI pairs
+when the compiled program allows it; each pair is simulated step by
+step: the CSC loader, e-wise vector loader, OS/E-Wise/IS cores, eager
+CSR prefetcher, and the on-chip buffer all charge cycles and bytes per
+sub-tensor step, and the step's duration is the slowest of them (the
+pipeline advances in lock-step, Fig 13). Workloads without an OEI path
+(cg, bgs) run producer-consumer-fused single passes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.arch.buffer import OnChipBuffer
+from repro.arch.config import (
+    PAPER_BUFFER_BYTES,
+    SparsepipeConfig,
+    scaled_buffer_bytes,
+)
+from repro.arch.cores import ComputePipeline
+from repro.arch.loaders import EagerPrefetcher, LoadPlan
+from repro.arch.memory import MemoryController
+from repro.arch.profile import WorkloadProfile
+from repro.arch.stats import SimResult, StepTrace
+from repro.formats.coo import COOMatrix
+from repro.preprocess.pipeline import PreprocessResult
+
+#: DRAM bytes per vector element (64-bit values, Section VI-C).
+VECTOR_ELEMENT_BYTES = 8.0
+
+
+class SparsepipeSimulator:
+    """Simulates one Sparsepipe instance over (workload, matrix) pairs."""
+
+    def __init__(self, config: SparsepipeConfig = SparsepipeConfig()) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        profile: WorkloadProfile,
+        matrix: Union[COOMatrix, PreprocessResult],
+        paper_nnz: Optional[int] = None,
+    ) -> SimResult:
+        """Simulate the full application run.
+
+        ``paper_nnz`` enables per-matrix buffer scaling (DESIGN.md):
+        the buffer capacity keeps the paper's buffer-to-matrix ratio.
+        """
+        config = self.config
+        plan = LoadPlan.from_matrix(matrix, config.subtensor_cols)
+        if config.buffer_bytes is not None:
+            capacity = config.buffer_bytes
+        elif paper_nnz is not None:
+            capacity = scaled_buffer_bytes(plan.total_nnz, paper_nnz)
+        else:
+            capacity = PAPER_BUFFER_BYTES
+
+        memory = MemoryController(
+            config, burst_hints=self._burst_hints(plan, profile)
+        )
+        cores = ComputePipeline(config)
+        buffer = OnChipBuffer(
+            capacity_bytes=capacity,
+            csr_window_fraction=config.csr_window_fraction,
+            element_bytes=plan.element_bytes,
+            repack_threshold=config.repack_threshold,
+        )
+        trace = StepTrace()
+        state = _RunState()
+
+        k = 0
+        while k < profile.n_iterations:
+            if profile.has_oei and k + 1 < profile.n_iterations:
+                self._simulate_pair(plan, profile, k, memory, cores, buffer, trace, state)
+                k += 2
+            else:
+                self._simulate_stream(plan, profile, k, memory, cores, trace, state)
+                k += 1
+
+        cycles = sum(trace.cycles)
+        seconds = config.seconds(cycles)
+        total_bytes = memory.traffic.total_bytes
+        deliverable = cycles * config.bytes_per_cycle
+        scatter_updates = state.is_ops * 2 * VECTOR_ELEMENT_BYTES
+        return SimResult(
+            name=profile.name,
+            cycles=cycles,
+            seconds=seconds,
+            traffic=memory.traffic,
+            bandwidth_utilization=min(1.0, total_bytes / deliverable) if deliverable else 0.0,
+            bandwidth_samples=trace.samples(config.bytes_per_cycle),
+            compute_ops=state.compute_ops,
+            buffer_peak_bytes=buffer.peak_bytes,
+            oom_evicted_bytes=buffer.evicted_bytes,
+            repack_events=buffer.repack_events,
+            n_iterations=profile.n_iterations,
+            sram_access_bytes=2.0 * total_bytes + scatter_updates,
+            extra={"buffer_capacity_bytes": float(buffer.capacity_bytes)},
+        )
+
+    @staticmethod
+    def _burst_hints(plan: LoadPlan, profile: WorkloadProfile) -> dict:
+        """Average DRAM burst sizes per traffic category, from matrix
+        structure (used only by the banked DRAM model).
+
+        Column sub-tensors stream contiguously; eager/reload row traffic
+        arrives as per-row fragments; vector slices are contiguous runs
+        of one sub-tensor width.
+        """
+        row_avg = plan.matrix_stream_bytes / max(1, plan.n)
+        vector_run = (
+            plan.subtensor_cols * VECTOR_ELEMENT_BYTES * profile.feature_dim
+        )
+        return {
+            "csc": plan.matrix_stream_bytes / max(1, plan.n_subtensors),
+            "csr_eager": row_avg,
+            "csr_reload": row_avg,
+            "vector": vector_run,
+            "writeback": vector_run,
+        }
+
+    # ------------------------------------------------------------------
+    # OEI pair (iterations k and k+1 fused)
+    # ------------------------------------------------------------------
+    def _simulate_pair(
+        self,
+        plan: LoadPlan,
+        profile: WorkloadProfile,
+        k: int,
+        memory: MemoryController,
+        cores: ComputePipeline,
+        buffer: OnChipBuffer,
+        trace: StepTrace,
+        state: "_RunState",
+    ) -> None:
+        config = self.config
+        f = profile.feature_dim
+        act1 = profile.activity_at(k)
+        act2 = profile.activity_at(k + 1)
+        both = act1 + act2
+        n_ops = profile.total_ewise_ops
+        extra_dram_share = 2 * profile.extra_dram_bytes_per_iteration / plan.n_steps
+        extra_ops_share = 2 * profile.extra_ops_per_iteration / plan.n_steps
+        prefetcher = EagerPrefetcher(plan, config.eager_is)
+
+        def width(t: int) -> float:
+            if 0 <= t < plan.n_subtensors:
+                return float(plan.subtensor_width[t])
+            return 0.0
+
+        for s in range(plan.n_steps):
+            moved = {}
+            # --- demand traffic --------------------------------------
+            reload_bytes = buffer.pop_reload(s)
+            csc_due = prefetcher.demand(s)
+            buffer.prefetch_resident_bytes = max(
+                0.0, buffer.prefetch_resident_bytes - prefetcher.release_at(s)
+            )
+            # OS input x at s, e-wise operand vectors at s-1 (both
+            # pair halves), finalized outputs at s-2.
+            vec_read = VECTOR_ELEMENT_BYTES * f * (
+                width(s) * act1 + width(s - 1) * profile.aux_streams * both
+            )
+            writeback = (
+                VECTOR_ELEMENT_BYTES * f * width(s - 2)
+                * profile.writeback_streams * both
+            )
+            demand_by_category = {
+                "csc": csc_due,
+                "csr_reload": reload_bytes,
+                "vector": vec_read + extra_dram_share,
+                "writeback": writeback,
+            }
+            demand = csc_due + reload_bytes + vec_read + writeback + extra_dram_share
+
+            # --- compute --------------------------------------------
+            os_c = cores.os_cycles(plan.os_nnz[s] * act1, f) if s < plan.n_subtensors else 0.0
+            ew_c = cores.ewise_cycles(width(s - 1) * both, n_ops, f)
+            is_c = cores.is_cycles(plan.scatter_nnz[s] * act2, f)
+            extra_c = cores.extra_cycles(extra_ops_share)
+            mem_c = memory.demand_cycles(demand_by_category)
+            step_cycles = max(
+                os_c, ew_c, is_c, extra_c, mem_c, float(config.step_overhead_cycles)
+            )
+
+            # --- eager CSR prefetch with leftover bandwidth ----------
+            achievable = memory.bytes_per_cycle * config.dram_efficiency
+            leftover = step_cycles * achievable - demand
+            prefetched = prefetcher.prefetch(s, leftover, buffer.slack_bytes())
+            buffer.prefetch_resident_bytes += prefetched
+
+            # --- account --------------------------------------------
+            moved["csc"] = csc_due
+            moved["csr_reload"] = reload_bytes
+            moved["csr_eager"] = prefetched
+            moved["vector"] = vec_read + extra_dram_share
+            moved["writeback"] = writeback
+            for cat, val in moved.items():
+                if val:
+                    memory.transfer(cat, val)
+
+            # --- reuse-window transitions ----------------------------
+            if s < plan.n_subtensors:
+                buffer.admit(plan.enter_counts[s])
+            buffer.release(s)
+            buffer.enforce_capacity(s)
+
+            trace.record(step_cycles, moved)
+            state.compute_ops += (
+                plan.os_nnz[s] * act1 * f if s < plan.n_subtensors else 0.0
+            )
+            state.compute_ops += width(s - 1) * both * n_ops * f
+            state.compute_ops += plan.scatter_nnz[s] * act2 * f + extra_ops_share
+            state.is_ops += plan.scatter_nnz[s] * act2 * f
+        buffer.drain_check()
+        # Pipeline fill: the first DRAM access and the adder-tree drain
+        # are exposed once per pair (hidden in steady state).
+        trace.record(float(config.read_latency_cycles + cores.tree_depth), {})
+
+    # ------------------------------------------------------------------
+    # Single streamed iteration (odd tail, or non-OEI workloads)
+    # ------------------------------------------------------------------
+    def _simulate_stream(
+        self,
+        plan: LoadPlan,
+        profile: WorkloadProfile,
+        k: int,
+        memory: MemoryController,
+        cores: ComputePipeline,
+        trace: StepTrace,
+        state: "_RunState",
+    ) -> None:
+        """One producer-consumer-fused pass: the matrix streams once,
+        e-wise consumes OS output on-chip, final outputs write back."""
+        config = self.config
+        f = profile.feature_dim
+        act = profile.activity_at(k)
+        n_ops = profile.total_ewise_ops
+        extra_dram_share = profile.extra_dram_bytes_per_iteration / max(1, plan.n_subtensors)
+        extra_ops_share = profile.extra_ops_per_iteration / max(1, plan.n_subtensors)
+
+        for t in range(plan.n_subtensors):
+            w = float(plan.subtensor_width[t])
+            vec_read = VECTOR_ELEMENT_BYTES * f * w * (act + profile.aux_streams * act)
+            writeback = VECTOR_ELEMENT_BYTES * f * w * profile.writeback_streams * act
+            demand_by_category = {
+                "csc": float(plan.csc_bytes[t]),
+                "vector": vec_read + extra_dram_share,
+                "writeback": writeback,
+            }
+
+            os_c = cores.os_cycles(plan.os_nnz[t] * act, f)
+            ew_c = cores.ewise_cycles(w * act, n_ops, f)
+            extra_c = cores.extra_cycles(extra_ops_share)
+            mem_c = memory.demand_cycles(demand_by_category)
+            step_cycles = max(os_c, ew_c, extra_c, mem_c, float(config.step_overhead_cycles))
+
+            moved = {
+                "csc": float(plan.csc_bytes[t]),
+                "vector": vec_read + extra_dram_share,
+                "writeback": writeback,
+            }
+            for cat, val in moved.items():
+                if val:
+                    memory.transfer(cat, val)
+            trace.record(step_cycles, moved)
+            state.compute_ops += (
+                plan.os_nnz[t] * act * f + w * act * n_ops * f + extra_ops_share
+            )
+        trace.record(float(config.read_latency_cycles + cores.tree_depth), {})
+
+
+class _RunState:
+    """Mutable accumulators shared across pairs within one run."""
+
+    def __init__(self) -> None:
+        self.compute_ops = 0.0
+        self.is_ops = 0.0

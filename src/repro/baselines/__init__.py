@@ -1,0 +1,31 @@
+"""Baseline architecture models the paper compares against (Section V-B).
+
+- :class:`IdealAccelerator` — the paper's main baseline: a sparse
+  accelerator with Sparsepipe's compute and bandwidth that *always runs
+  at its roofline* but exploits no inter-operator reuse (matrix
+  streamed every iteration, operator intermediates spilled to DRAM).
+- :class:`OracleAccelerator` — perfect inter-operator reuse regardless
+  of buffer size (Section VI-C): the matrix is loaded exactly once.
+- :class:`CPUModel` — an ALP/GraphBLAS-style multicore (AMD 5800X3D
+  class: 40 GB/s DRAM, large V-cache, non-blocking producer-consumer
+  fusion, no cross-iteration reuse).
+- :class:`GPUModel` — a GraphBLAST/Gunrock-style GPU (RTX 4070 class:
+  504 GB/s, kernel-per-operator execution).
+"""
+
+from repro.baselines.roofline import fused_vector_bytes, unfused_vector_bytes
+from repro.baselines.ideal_accelerator import IdealAccelerator
+from repro.baselines.oracle import OracleAccelerator
+from repro.baselines.cpu import CPUModel
+from repro.baselines.gpu import GPUModel
+from repro.baselines.software_oei import SoftwareOEIModel
+
+__all__ = [
+    "IdealAccelerator",
+    "OracleAccelerator",
+    "CPUModel",
+    "GPUModel",
+    "SoftwareOEIModel",
+    "fused_vector_bytes",
+    "unfused_vector_bytes",
+]

@@ -1,0 +1,94 @@
+"""Shared roofline arithmetic for the baseline models.
+
+Every baseline times an iteration as
+``max(traffic / achievable_bandwidth, operations / peak_compute)`` plus
+model-specific overheads; they differ in *which* traffic they pay:
+
+- fused (producer-consumer reuse): input vector + auxiliary operand
+  vectors + final writebacks only,
+- unfused: additionally the contraction output and every e-wise
+  intermediate makes a DRAM round trip.
+"""
+
+from __future__ import annotations
+
+from repro.arch.profile import WorkloadProfile
+
+VECTOR_ELEMENT_BYTES = 8.0
+
+
+def fused_vector_bytes(n: int, profile: WorkloadProfile, iteration: int) -> float:
+    """Vector traffic of one iteration with producer-consumer fusion."""
+    act = profile.activity_at(iteration)
+    streams = 1 + profile.aux_streams + profile.writeback_streams
+    return (
+        VECTOR_ELEMENT_BYTES * n * profile.feature_dim * act * streams
+        + profile.extra_dram_bytes_per_iteration
+    )
+
+
+def unfused_vector_bytes(
+    n: int, profile: WorkloadProfile, iteration: int, fused_ewise: bool = True
+) -> float:
+    """Vector traffic of one iteration without inter-operator reuse.
+
+    ``fused_ewise=True`` models an accelerator that still fuses the
+    e-wise chain internally (any competent design does) but stages the
+    contraction output through DRAM: x read, y written then re-read,
+    final output written. ``fused_ewise=False`` models kernel-per-
+    operator execution (GraphBLAST-style GPUs), where every e-wise
+    intermediate also round-trips.
+    """
+    act = profile.activity_at(iteration)
+    per_element = VECTOR_ELEMENT_BYTES * profile.feature_dim * act
+    if fused_ewise:
+        chain_streams = 3 + profile.writeback_streams  # x, y out, y in, out
+    else:
+        chain_streams = 2 + 2 * profile.total_ewise_ops
+    aux = profile.aux_streams
+    return per_element * n * (chain_streams + aux) + (
+        profile.extra_dram_bytes_per_iteration
+    )
+
+
+def pair_vector_bytes(n: int, profile: WorkloadProfile, iteration: int) -> float:
+    """Vector traffic of one fused OEI pair (iterations k and k+1): the
+    first input vector is read, both auxiliary streams are read, both
+    outputs are written; the intermediate vector lives on chip."""
+    act1 = profile.activity_at(iteration)
+    act2 = profile.activity_at(iteration + 1)
+    per_element = VECTOR_ELEMENT_BYTES * profile.feature_dim
+    return per_element * n * (
+        act1
+        + profile.aux_streams * (act1 + act2)
+        + profile.writeback_streams * (act1 + act2)
+    ) + 2 * profile.extra_dram_bytes_per_iteration
+
+
+def iteration_ops(nnz: int, n: int, profile: WorkloadProfile, iteration: int) -> float:
+    """PE operations of one iteration (contraction + e-wise + extras)."""
+    act = profile.activity_at(iteration)
+    f = profile.feature_dim
+    return (
+        nnz * act * f
+        + n * act * f * profile.total_ewise_ops
+        + profile.extra_ops_per_iteration
+    )
+
+
+def iteration_compute_cycles(
+    nnz: int, n: int, profile: WorkloadProfile, iteration: int, pes_per_core: int
+) -> float:
+    """Compute cycles of one iteration on a Sparsepipe-class machine:
+    the contraction, e-wise, and extra work run on *separate* cores and
+    overlap perfectly, so the bound is the slowest core, not the sum.
+    Used by the idealized and oracle accelerators, which share
+    Sparsepipe's compute organization."""
+    act = profile.activity_at(iteration)
+    f = profile.feature_dim
+    slowest = max(
+        nnz * act * f,
+        n * act * f * profile.total_ewise_ops,
+        profile.extra_ops_per_iteration,
+    )
+    return slowest / pes_per_core

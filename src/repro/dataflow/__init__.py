@@ -1,0 +1,45 @@
+"""Sparse tensor dataflow graphs and the offline OEI compiler.
+
+This package realizes Sections II-A, III-A and IV-F of the paper:
+
+- :mod:`repro.dataflow.graph` — the tensor dataflow graph IR a
+  GraphBLAS-style program lowers to (Fig 2),
+- :mod:`repro.dataflow.fusion` — e-wise fusion by connected components,
+- :mod:`repro.dataflow.dependency` — sub-tensor dependency
+  classification (Fig 3),
+- :mod:`repro.dataflow.oei_detect` — detection of the
+  "sub-tensor-dependency-only region" between two ``vxm`` operations
+  that makes cross-iteration reuse legal,
+- :mod:`repro.dataflow.compiler` — static compilation into an
+  :class:`~repro.dataflow.program.OEIProgram`: semiring opcodes for the
+  OS/IS cores plus a fixed vector-instruction stream for the E-Wise
+  core.
+"""
+
+from repro.dataflow.graph import DataflowGraph, OpKind, OpNode, TensorKind, TensorNode
+from repro.dataflow.fusion import FusedGroup, fuse_ewise
+from repro.dataflow.dependency import DependencyClass, classify_op
+from repro.dataflow.oei_detect import OEIPath, find_oei_path
+from repro.dataflow.program import EWiseInstr, OEIProgram, Operand, OperandKind
+from repro.dataflow.compiler import DataflowAnalysis, analyze, compile_program
+
+__all__ = [
+    "DataflowGraph",
+    "TensorNode",
+    "TensorKind",
+    "OpNode",
+    "OpKind",
+    "FusedGroup",
+    "fuse_ewise",
+    "DependencyClass",
+    "classify_op",
+    "OEIPath",
+    "find_oei_path",
+    "OEIProgram",
+    "EWiseInstr",
+    "Operand",
+    "OperandKind",
+    "DataflowAnalysis",
+    "analyze",
+    "compile_program",
+]

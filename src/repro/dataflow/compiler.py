@@ -1,0 +1,160 @@
+"""Offline compilation of a dataflow graph into an OEI program.
+
+Mirrors Section IV-F: dependence analysis separates the sub-tensor
+dependence group (the OEI path) from all other operation groups,
+consecutive e-wise operations merge into a fixed vector instruction
+stream, and the semiring opcode is extracted for the OS/IS cores. All
+of it happens statically — no runtime code generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dataflow.fusion import FusedGroup, fuse_ewise
+from repro.dataflow.graph import DataflowGraph, OpKind, OpNode, TensorKind
+from repro.dataflow.oei_detect import OEIPath, find_oei_path
+from repro.dataflow.program import EWiseInstr, OEIProgram, Operand, OperandKind
+from repro.errors import CompileError
+from repro.semiring.binaryops import BINARY_OPS
+from repro.semiring.unaryops import UNARY_OPS
+
+
+@dataclass(frozen=True)
+class DataflowAnalysis:
+    """What the dependence analysis learned about a loop body."""
+
+    graph: DataflowGraph
+    fused_groups: tuple
+    oei_path: Optional[OEIPath]
+    semiring_name: str
+
+    @property
+    def has_oei(self) -> bool:
+        return self.oei_path is not None
+
+    @property
+    def n_fused_groups(self) -> int:
+        return len(self.fused_groups)
+
+    @property
+    def total_ewise_ops(self) -> int:
+        return sum(g.n_ops for g in self.fused_groups)
+
+
+def _contraction_semiring(graph: DataflowGraph) -> str:
+    """All contractions in a loop body must share one semiring — the
+    cores are configured once before execution (Section IV-C3)."""
+    names = {op.op_name for op in graph.contractions()}
+    if not names:
+        raise CompileError(f"graph {graph.name!r} has no contraction to accelerate")
+    if len(names) > 1:
+        raise CompileError(
+            f"graph {graph.name!r} mixes semirings {sorted(names)}; "
+            "Sparsepipe preloads a single opcode per kernel launch"
+        )
+    return names.pop()
+
+
+def analyze(graph: DataflowGraph) -> DataflowAnalysis:
+    """Dependence analysis: fuse e-wise groups and find the OEI path."""
+    return DataflowAnalysis(
+        graph=graph,
+        fused_groups=tuple(fuse_ewise(graph)),
+        oei_path=find_oei_path(graph),
+        semiring_name=_contraction_semiring(graph),
+    )
+
+
+def _validate_op_name(op: OpNode, arity: int) -> None:
+    table = UNARY_OPS if arity == 1 else BINARY_OPS
+    if op.op_name not in table:
+        raise CompileError(
+            f"op {op.name!r}: {op.op_name!r} is not a known "
+            f"{'unary' if arity == 1 else 'binary'} operator"
+        )
+
+
+def compile_program(graph: DataflowGraph) -> OEIProgram:
+    """Lower a loop body to an :class:`OEIProgram`.
+
+    The e-wise ops on the OEI path become the E-Wise core's instruction
+    stream; every other e-wise op is counted as side work for the timing
+    model. Graphs without an OEI path (cg, bgs) compile to a program
+    with ``has_oei=False`` that still benefits from producer-consumer
+    fusion.
+    """
+    analysis = analyze(graph)
+    path = analysis.oei_path
+    total_ops = analysis.total_ewise_ops
+
+    if path is None:
+        return OEIProgram(
+            name=graph.name,
+            semiring_name=analysis.semiring_name,
+            has_oei=False,
+            side_ewise_ops=total_ops,
+        )
+
+    y_name = path.src.output.name
+    registers: Dict[str, int] = {}
+    instructions: List[EWiseInstr] = []
+    aux: List[str] = []
+    scalars: List[str] = []
+
+    def operand_for(tensor_name: str, kind: TensorKind) -> Operand:
+        if tensor_name == y_name:
+            return Operand(OperandKind.Y)
+        if tensor_name in registers:
+            return Operand(OperandKind.REG, registers[tensor_name])
+        if kind is TensorKind.SCALAR:
+            if tensor_name not in scalars:
+                scalars.append(tensor_name)
+            return Operand(OperandKind.SCALAR, tensor_name)
+        if tensor_name not in aux:
+            aux.append(tensor_name)
+        return Operand(OperandKind.AUX, tensor_name)
+
+    for op in graph.topo_order(path.ewise_ops):
+        srcs = [operand_for(t.name, t.kind) for t in op.inputs]
+        if op.scalar_operand is not None:
+            if op.scalar_operand not in scalars:
+                scalars.append(op.scalar_operand)
+            srcs.append(Operand(OperandKind.SCALAR, op.scalar_operand))
+        if op.immediate is not None:
+            srcs.append(Operand(OperandKind.CONST, float(op.immediate)))
+        _validate_op_name(op, len(srcs))
+        dst = len(registers)
+        registers[op.output.name] = dst
+        instructions.append(EWiseInstr(op.op_name, dst, tuple(srcs)))
+
+    # The tensor entering the destination contraction: walk the carry
+    # edge back if the path crosses the iteration boundary.
+    dst_vec = next(
+        t.name for t in path.dst.inputs if t.kind is TensorKind.VECTOR
+    )
+    produced = {v: k for k, v in graph.loop_carried.items()}
+    final_name = produced.get(dst_vec, dst_vec)
+    if final_name == y_name:
+        result_reg = None  # no-op path (KNN)
+    elif final_name in registers:
+        result_reg = registers[final_name]
+    else:
+        raise CompileError(
+            f"graph {graph.name!r}: OEI path does not produce the "
+            f"destination vector {final_name!r}"
+        )
+
+    return OEIProgram(
+        name=graph.name,
+        semiring_name=analysis.semiring_name,
+        instructions=tuple(instructions),
+        result_reg=result_reg,
+        aux_vectors=tuple(aux),
+        scalar_names=tuple(scalars),
+        n_registers=len(registers),
+        has_oei=True,
+        iteration_distance=path.iteration_distance,
+        side_ewise_ops=total_ops - len(path.ewise_ops),
+    )

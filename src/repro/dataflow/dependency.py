@@ -1,0 +1,52 @@
+"""Sub-tensor dependency classification (Section III-A, Fig 3).
+
+An operation exhibits *sub-tensor dependency* when producing element
+``i`` of its output requires only element ``i`` of each vector input —
+the property that lets the schedule perform partial computation and
+shorten the reuse distance between consecutive ``vxm`` operations.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.dataflow.graph import OpKind, OpNode
+
+
+class DependencyClass(Enum):
+    """How an op's output elements depend on its input elements."""
+
+    #: Element i of the output needs only element i of vector inputs.
+    ELEMENTWISE = "elementwise"
+    #: The output (a scalar) needs every input element (fold/dot).
+    REDUCTION = "reduction"
+    #: A contraction against the sparse matrix: under the OS dataflow an
+    #: output element needs the whole input vector; under IS an input
+    #: element touches many output elements.
+    CONTRACTION = "contraction"
+
+
+_CLASS_BY_KIND = {
+    OpKind.EWISE: DependencyClass.ELEMENTWISE,
+    OpKind.APPLY: DependencyClass.ELEMENTWISE,
+    OpKind.NOOP: DependencyClass.ELEMENTWISE,
+    OpKind.REDUCE: DependencyClass.REDUCTION,
+    OpKind.DOT: DependencyClass.REDUCTION,
+    OpKind.VXM: DependencyClass.CONTRACTION,
+    OpKind.MXV: DependencyClass.CONTRACTION,
+    OpKind.MXM: DependencyClass.CONTRACTION,
+}
+
+
+def classify_op(op: OpNode) -> DependencyClass:
+    """Classify one op; raises on an unknown kind so new kinds must be
+    classified deliberately."""
+    try:
+        return _CLASS_BY_KIND[op.kind]
+    except KeyError:  # pragma: no cover - defensive
+        raise ValueError(f"unclassified op kind {op.kind!r}")
+
+
+def is_subtensor(op: OpNode) -> bool:
+    """True when the op preserves sub-tensor (element-level) dependency."""
+    return classify_op(op) is DependencyClass.ELEMENTWISE

@@ -1,0 +1,107 @@
+"""E-wise fusion (Section II-A, Fig 2b).
+
+Consecutive element-wise operations are fused by taking connected
+components of the sub-graph induced by e-wise ops and the vector
+tensors flowing between them. Each component becomes one
+:class:`FusedGroup` executed by the E-Wise core as a single fixed
+instruction stream, eliminating the intermediate tensors between member
+ops (the producer-consumer reuse of Section I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.dataflow.dependency import is_subtensor
+from repro.dataflow.graph import DataflowGraph, OpNode, TensorKind
+
+
+@dataclass(frozen=True)
+class FusedGroup:
+    """A maximal connected set of e-wise ops, in topological order.
+
+    ``internal_tensors`` are produced and consumed entirely inside the
+    group — after fusion they live in registers, never in memory; their
+    count measures the producer-consumer traffic the fusion removed.
+    """
+
+    ops: tuple
+    internal_tensors: tuple
+    external_inputs: tuple
+    outputs: tuple
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+
+def fuse_ewise(graph: DataflowGraph) -> List[FusedGroup]:
+    """Partition the graph's e-wise ops into maximal fused groups."""
+    ewise_ops = [op for op in graph.ops if is_subtensor(op)]
+    if not ewise_ops:
+        return []
+
+    # Union-find over e-wise ops, joined through shared vector tensors
+    # that stay element-wise on both sides.
+    parent: Dict[str, str] = {op.name: op.name for op in ewise_ops}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x: str, y: str) -> None:
+        parent[find(x)] = find(y)
+
+    by_name = {op.name: op for op in ewise_ops}
+    for op in ewise_ops:
+        producer = {t.name: graph.producer_of(t.name) for t in op.inputs}
+        for t in op.inputs:
+            p = producer[t.name]
+            if p is not None and p.name in by_name and t.kind is TensorKind.VECTOR:
+                union(op.name, p.name)
+
+    components: Dict[str, List[OpNode]] = {}
+    for op in ewise_ops:
+        components.setdefault(find(op.name), []).append(op)
+
+    groups: List[FusedGroup] = []
+    for members in components.values():
+        ordered = graph.topo_order(members)
+        member_names: Set[str] = {op.name for op in ordered}
+        produced = {op.output.name for op in ordered}
+        consumed_inside: Dict[str, int] = {}
+        for op in ordered:
+            for t in op.inputs:
+                consumed_inside[t.name] = consumed_inside.get(t.name, 0) + 1
+
+        internal = []
+        outputs = []
+        for name in produced:
+            consumers = graph.consumers_of(name)
+            escapes = (
+                any(c.name not in member_names for c in consumers)
+                or name in graph.loop_carried
+                or not consumers
+            )
+            if escapes:
+                outputs.append(name)
+            else:
+                internal.append(name)
+        external_inputs = sorted(
+            name for name in consumed_inside if name not in produced
+        )
+        groups.append(
+            FusedGroup(
+                ops=tuple(ordered),
+                internal_tensors=tuple(sorted(internal)),
+                external_inputs=tuple(external_inputs),
+                outputs=tuple(sorted(outputs)),
+            )
+        )
+    # Deterministic ordering: by first op's position in the graph.
+    position = {op.name: i for i, op in enumerate(graph.ops)}
+    groups.sort(key=lambda g: position[g.ops[0].name])
+    return groups

@@ -1,0 +1,216 @@
+"""Tensor dataflow graph IR.
+
+A :class:`DataflowGraph` describes one *loop-iteration body* of an STA
+application as tensors (data nodes) and operations (compute nodes),
+exactly the abstraction of Fig 2. Loop structure is captured by
+``loop_carried``: a mapping from an output tensor of this iteration to
+the input tensor it becomes in the next iteration (e.g. PageRank's
+``pr_nextnext -> pr_next``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CompileError
+
+
+class TensorKind(Enum):
+    """Rank of a data node."""
+
+    MATRIX = "matrix"
+    VECTOR = "vector"
+    SCALAR = "scalar"
+
+
+class OpKind(Enum):
+    """Operation classes the IR distinguishes.
+
+    ``VXM``/``MXV``/``MXM`` are the leading contractions; ``EWISE``,
+    ``APPLY``, and ``NOOP`` are element-wise; ``REDUCE`` and ``DOT``
+    collapse vectors to scalars (``fold``/``dot`` in Fig 1).
+    """
+
+    VXM = "vxm"
+    MXV = "mxv"
+    MXM = "mxm"
+    EWISE = "ewise"
+    APPLY = "apply"
+    REDUCE = "reduce"
+    DOT = "dot"
+    NOOP = "noop"
+
+
+@dataclass(frozen=True)
+class TensorNode:
+    """A data node. ``constant`` marks tensors reused unchanged across
+    iterations — the shared sparse matrix of Section II-A is the
+    canonical example and the target of cross-iteration reuse."""
+
+    name: str
+    kind: TensorKind
+    constant: bool = False
+
+    def __repr__(self) -> str:
+        flag = ", constant" if self.constant else ""
+        return f"TensorNode({self.name}: {self.kind.value}{flag})"
+
+
+@dataclass(frozen=True)
+class OpNode:
+    """A compute node.
+
+    ``op_name`` holds the semiring name for contractions and the
+    binary/unary operator name for e-wise nodes; ``scalar_operand``
+    optionally binds one e-wise input to a named runtime scalar or an
+    immediate constant.
+    """
+
+    name: str
+    kind: OpKind
+    inputs: Sequence[TensorNode]
+    output: TensorNode
+    op_name: str = ""
+    scalar_operand: Optional[str] = None
+    immediate: Optional[float] = None
+
+    def __repr__(self) -> str:
+        ins = ", ".join(t.name for t in self.inputs)
+        return f"OpNode({self.name}: {self.kind.value}({ins}) -> {self.output.name})"
+
+
+@dataclass
+class DataflowGraph:
+    """One loop-iteration body plus its loop-carried wiring."""
+
+    name: str
+    tensors: Dict[str, TensorNode] = field(default_factory=dict)
+    ops: List[OpNode] = field(default_factory=list)
+    #: output tensor name -> input tensor name it feeds next iteration
+    loop_carried: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction API (used by the workload definitions)
+    # ------------------------------------------------------------------
+    def tensor(
+        self, name: str, kind: TensorKind, constant: bool = False
+    ) -> TensorNode:
+        """Declare (or fetch) a tensor node."""
+        if name in self.tensors:
+            existing = self.tensors[name]
+            if existing.kind != kind or existing.constant != constant:
+                raise CompileError(
+                    f"tensor {name!r} redeclared with different attributes"
+                )
+            return existing
+        node = TensorNode(name, kind, constant)
+        self.tensors[name] = node
+        return node
+
+    def matrix(self, name: str, constant: bool = True) -> TensorNode:
+        return self.tensor(name, TensorKind.MATRIX, constant)
+
+    def vector(self, name: str) -> TensorNode:
+        return self.tensor(name, TensorKind.VECTOR)
+
+    def scalar(self, name: str) -> TensorNode:
+        return self.tensor(name, TensorKind.SCALAR)
+
+    def add_op(self, op: OpNode) -> OpNode:
+        """Append a compute node; tensors must be declared first."""
+        for t in list(op.inputs) + [op.output]:
+            if t.name not in self.tensors:
+                raise CompileError(
+                    f"op {op.name!r} references undeclared tensor {t.name!r}"
+                )
+        if any(existing.name == op.name for existing in self.ops):
+            raise CompileError(f"duplicate op name {op.name!r}")
+        self.ops.append(op)
+        return op
+
+    def vxm(
+        self, name: str, vector: TensorNode, matrix: TensorNode,
+        output: TensorNode, semiring: str,
+    ) -> OpNode:
+        return self.add_op(
+            OpNode(name, OpKind.VXM, (vector, matrix), output, op_name=semiring)
+        )
+
+    def ewise(
+        self, name: str, op_name: str, inputs: Sequence[TensorNode],
+        output: TensorNode, scalar_operand: Optional[str] = None,
+        immediate: Optional[float] = None,
+    ) -> OpNode:
+        kind = OpKind.APPLY if len(inputs) == 1 and scalar_operand is None and immediate is None else OpKind.EWISE
+        return self.add_op(
+            OpNode(name, kind, tuple(inputs), output, op_name=op_name,
+                   scalar_operand=scalar_operand, immediate=immediate)
+        )
+
+    def reduce(self, name: str, vector: TensorNode, output: TensorNode,
+               monoid: str) -> OpNode:
+        return self.add_op(
+            OpNode(name, OpKind.REDUCE, (vector,), output, op_name=monoid)
+        )
+
+    def dot(self, name: str, u: TensorNode, v: TensorNode,
+            output: TensorNode, semiring: str = "mul_add") -> OpNode:
+        """Vector-vector dot product (a reduction — blocks OEI paths)."""
+        return self.add_op(
+            OpNode(name, OpKind.DOT, (u, v), output, op_name=semiring)
+        )
+
+    def carry(self, produced: TensorNode, consumed_next: TensorNode) -> None:
+        """Wire ``produced`` of iteration *k* to ``consumed_next`` of
+        iteration *k+1*."""
+        self.loop_carried[produced.name] = consumed_next.name
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def producer_of(self, tensor_name: str) -> Optional[OpNode]:
+        """The op writing ``tensor_name`` within the iteration body."""
+        for op in self.ops:
+            if op.output.name == tensor_name:
+                return op
+        return None
+
+    def consumers_of(self, tensor_name: str) -> List[OpNode]:
+        """Ops reading ``tensor_name`` within the iteration body."""
+        return [op for op in self.ops if any(t.name == tensor_name for t in op.inputs)]
+
+    def contractions(self) -> List[OpNode]:
+        """The leading matrix operations (vxm/mxv/mxm)."""
+        return [op for op in self.ops if op.kind in (OpKind.VXM, OpKind.MXV, OpKind.MXM)]
+
+    def ewise_ops(self) -> List[OpNode]:
+        """All element-wise compute nodes."""
+        return [op for op in self.ops if op.kind in (OpKind.EWISE, OpKind.APPLY, OpKind.NOOP)]
+
+    def topo_order(self, ops: Sequence[OpNode]) -> List[OpNode]:
+        """Topologically sort a subset of ops by tensor dependencies."""
+        remaining = list(ops)
+        produced_by = {op.output.name: op for op in remaining}
+        done: set = set()
+        order: List[OpNode] = []
+        progress = True
+        while remaining and progress:
+            progress = False
+            for op in list(remaining):
+                deps = [
+                    produced_by[t.name]
+                    for t in op.inputs
+                    if t.name in produced_by and produced_by[t.name] is not op
+                ]
+                if all(d.name in done for d in deps):
+                    order.append(op)
+                    done.add(op.name)
+                    remaining.remove(op)
+                    progress = True
+        if remaining:
+            raise CompileError(
+                f"cycle among ops: {[op.name for op in remaining]}"
+            )
+        return order

@@ -1,0 +1,156 @@
+"""OEI subgraph detection (Section III-A).
+
+Cross-iteration reuse is legal when there is a path from the output
+vector of one contraction, through *sub-tensor-dependency-only*
+operations (and possibly across the loop-carried boundary), to the
+input vector of a contraction against the *same constant matrix*. The
+three shapes the paper discusses all reduce to this search:
+
+- PageRank: ``vxm -> e-wise 1 -> e-wise 0 -> (carry) -> vxm``,
+- KNN: ``vxm -> no-op -> vxm`` within one iteration, circularly,
+- GCN: ``SpMM -> MM -> ReLU -> (next layer) -> SpMM``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.dataflow.dependency import is_subtensor
+from repro.dataflow.graph import DataflowGraph, OpKind, OpNode, TensorKind
+
+
+@dataclass(frozen=True)
+class OEIPath:
+    """A legal OEI fusion: ``src`` feeds ``dst`` through ``ewise_ops``.
+
+    ``iteration_distance`` counts loop-boundary crossings along the
+    path: 1 for classic cross-iteration reuse (PageRank), 0 when both
+    contractions sit in the same iteration (KNN's circular pair
+    contributes one 0-distance path and one 1-distance path).
+    """
+
+    src: OpNode
+    dst: OpNode
+    matrix_name: str
+    ewise_ops: Tuple[OpNode, ...]
+    iteration_distance: int
+
+    @property
+    def n_ewise_ops(self) -> int:
+        return len(self.ewise_ops)
+
+
+def _vector_input(op: OpNode) -> Optional[str]:
+    """Name of a contraction's vector operand (its IS-side input)."""
+    for t in op.inputs:
+        if t.kind is TensorKind.VECTOR:
+            return t.name
+    return None
+
+
+def _matrix_input(op: OpNode) -> Optional[str]:
+    for t in op.inputs:
+        if t.kind is TensorKind.MATRIX:
+            return t.name
+    return None
+
+
+def _upstream_closure(graph: DataflowGraph, tensor: str) -> set:
+    """All tensor names ``tensor`` transitively depends on within one
+    iteration (no loop-boundary crossing)."""
+    seen = set()
+    stack = [tensor]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        producer = graph.producer_of(name)
+        if producer is not None:
+            stack.extend(t.name for t in producer.inputs)
+    return seen
+
+
+def _scalar_blockers(graph: DataflowGraph) -> dict:
+    """For each in-graph-produced scalar: its upstream tensor closure.
+
+    An e-wise op whose ``scalar_operand`` is produced *this iteration*
+    from data downstream of the path source is a hidden reduction
+    dependency (CG's ``alpha = r.r / p.Ap``) and breaks sub-tensor
+    dependency. Scalars not produced in-graph (constants, or values
+    lagged to the previous iteration like pipelined GMRES coefficients
+    and PageRank's teleport term) do not block.
+    """
+    out = {}
+    for op in graph.ops:
+        if op.output.kind is TensorKind.SCALAR:
+            out[op.output.name] = _upstream_closure(graph, op.output.name)
+    return out
+
+
+def find_oei_path(graph: DataflowGraph) -> Optional[OEIPath]:
+    """Find the shortest legal OEI path in ``graph``, or ``None``.
+
+    BFS from each contraction's output tensor through element-wise ops;
+    loop-carried edges may be crossed at most twice (a path that loops
+    around more than that fuses nothing new).
+    """
+    contractions = graph.contractions()
+    scalar_upstream = _scalar_blockers(graph)
+    if not contractions:
+        return None
+    targets = {}
+    for op in contractions:
+        vec = _vector_input(op)
+        if vec is not None:
+            targets.setdefault(vec, []).append(op)
+
+    best: Optional[OEIPath] = None
+    for src in contractions:
+        src_matrix = _matrix_input(src)
+        if src_matrix is None or not graph.tensors[src_matrix].constant:
+            continue
+        # state: (tensor name, crossings, ewise ops so far)
+        queue = deque([(src.output.name, 0, ())])
+        seen = {(src.output.name, 0)}
+        while queue:
+            tensor, crossings, path_ops = queue.popleft()
+            for dst in targets.get(tensor, []):
+                if _matrix_input(dst) != src_matrix:
+                    continue
+                if dst is src and crossings == 0:
+                    continue  # a vxm cannot feed itself within one iteration
+                candidate = OEIPath(
+                    src=src,
+                    dst=dst,
+                    matrix_name=src_matrix,
+                    ewise_ops=path_ops,
+                    iteration_distance=crossings,
+                )
+                if best is None or candidate.n_ewise_ops < best.n_ewise_ops:
+                    best = candidate
+            # Walk forward through element-wise consumers.
+            for consumer in graph.consumers_of(tensor):
+                if not is_subtensor(consumer):
+                    continue
+                blocker = scalar_upstream.get(consumer.scalar_operand)
+                if blocker is not None and src.output.name in blocker:
+                    # The op's runtime scalar reduces this iteration's
+                    # own contraction output — not sub-tensor dependent.
+                    continue
+                state = (consumer.output.name, crossings)
+                if state not in seen:
+                    seen.add(state)
+                    queue.append(
+                        (consumer.output.name, crossings, path_ops + (consumer,))
+                    )
+            # Cross the iteration boundary.
+            carried = graph.loop_carried.get(tensor)
+            if carried is not None and crossings < 2:
+                state = (carried, crossings + 1)
+                if state not in seen:
+                    seen.add(state)
+                    queue.append((carried, crossings + 1, path_ops))
+    return best

@@ -1,0 +1,171 @@
+"""Compiled OEI program representation (Section IV-F).
+
+An :class:`OEIProgram` is what the offline compiler hands the hardware:
+the semiring opcode preloaded into the OS and IS cores, plus a fixed
+vector instruction stream for the E-Wise core that transforms one OS
+output element (and aligned auxiliary vector elements) into the next
+contraction's input element. The functional executor interprets the
+same stream, so the software and timing models cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.semiring.binaryops import BINARY_OPS
+from repro.semiring.semirings import Semiring, semiring_by_name
+from repro.semiring.unaryops import UNARY_OPS
+
+
+class OperandKind(Enum):
+    """Where an e-wise instruction operand comes from."""
+
+    Y = "y"            #: the OS-stage output element for this index
+    AUX = "aux"        #: element of a named auxiliary vector, same index
+    SCALAR = "scalar"  #: a named runtime scalar (updated between pairs)
+    CONST = "const"    #: an immediate constant
+    REG = "reg"        #: an earlier instruction's result
+
+
+@dataclass(frozen=True)
+class Operand:
+    kind: OperandKind
+    ref: object = None  # name (AUX/SCALAR), value (CONST), or reg index (REG)
+
+    def __repr__(self) -> str:
+        if self.kind is OperandKind.Y:
+            return "y"
+        return f"{self.kind.value}:{self.ref}"
+
+
+@dataclass(frozen=True)
+class EWiseInstr:
+    """One SIMD e-wise instruction: ``reg[dst] = op(*srcs)``."""
+
+    op_name: str
+    dst: int
+    srcs: Tuple[Operand, ...]
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.srcs))
+        return f"r{self.dst} = {self.op_name}({args})"
+
+
+@dataclass
+class OEIProgram:
+    """A compiled loop body ready for the Sparsepipe pipeline.
+
+    Attributes
+    ----------
+    semiring_name:
+        Opcode for the OS and IS cores.
+    instructions:
+        The E-Wise core's fixed stream; evaluated per element slice.
+    result_reg:
+        Register holding the next contraction's input element; ``None``
+        means the OS output feeds the IS stage unchanged (KNN's no-op).
+    aux_vectors:
+        Names of auxiliary vectors streamed alongside the OS output.
+    scalar_names:
+        Runtime scalars the stream reads (updated at pair boundaries).
+    n_registers:
+        Register-file size required.
+    has_oei:
+        Whether an OEI path exists (cg/bgs compile with ``False`` and
+        only get producer-consumer fusion).
+    side_ewise_ops / total_ewise_ops:
+        Op counts off and on the fused path; the timing model charges
+        the E-Wise core for all of them.
+    """
+
+    name: str
+    semiring_name: str
+    instructions: Tuple[EWiseInstr, ...] = ()
+    result_reg: Optional[int] = None
+    aux_vectors: Tuple[str, ...] = ()
+    scalar_names: Tuple[str, ...] = ()
+    n_registers: int = 0
+    has_oei: bool = True
+    iteration_distance: int = 1
+    side_ewise_ops: int = 0
+    _register_cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def semiring(self) -> Semiring:
+        return semiring_by_name(self.semiring_name)
+
+    @property
+    def n_path_ops(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def total_ewise_ops(self) -> int:
+        return self.n_path_ops + self.side_ewise_ops
+
+    # ------------------------------------------------------------------
+    # Interpretation (shared by the functional executor and tests)
+    # ------------------------------------------------------------------
+    def run_elementwise(
+        self,
+        y: np.ndarray,
+        indices: np.ndarray,
+        aux: Mapping[str, np.ndarray],
+        scalars: Mapping[str, float],
+    ) -> np.ndarray:
+        """Evaluate the instruction stream over an element slice.
+
+        ``y`` holds OS output values for positions ``indices``; each AUX
+        operand reads its vector at the same positions. Returns the
+        next-contraction input elements for those positions.
+        """
+        y = np.asarray(y, dtype=np.float64)
+        regs: Dict[int, np.ndarray] = {}
+
+        def load(operand: Operand) -> np.ndarray:
+            if operand.kind is OperandKind.Y:
+                return y
+            if operand.kind is OperandKind.REG:
+                return regs[operand.ref]
+            if operand.kind is OperandKind.AUX:
+                try:
+                    vec = aux[operand.ref]
+                except KeyError:
+                    raise CompileError(
+                        f"program {self.name!r} needs aux vector {operand.ref!r}"
+                    ) from None
+                return np.asarray(vec)[indices]
+            if operand.kind is OperandKind.SCALAR:
+                try:
+                    return np.full(y.shape, float(scalars[operand.ref]))
+                except KeyError:
+                    raise CompileError(
+                        f"program {self.name!r} needs scalar {operand.ref!r}"
+                    ) from None
+            if operand.kind is OperandKind.CONST:
+                return np.full(y.shape, float(operand.ref))
+            raise AssertionError(f"unhandled operand {operand!r}")
+
+        for instr in self.instructions:
+            srcs = [load(s) for s in instr.srcs]
+            if len(srcs) == 1:
+                op = UNARY_OPS.get(instr.op_name)
+                if op is None:
+                    raise CompileError(f"unknown unary op {instr.op_name!r}")
+                regs[instr.dst] = op(srcs[0])
+            elif len(srcs) == 2:
+                op = BINARY_OPS.get(instr.op_name)
+                if op is None:
+                    raise CompileError(f"unknown binary op {instr.op_name!r}")
+                regs[instr.dst] = op(srcs[0], srcs[1])
+            else:
+                raise CompileError(
+                    f"instruction arity {len(srcs)} unsupported: {instr!r}"
+                )
+        if self.result_reg is None:
+            return y
+        return regs[self.result_reg]

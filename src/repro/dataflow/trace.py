@@ -1,0 +1,194 @@
+"""Tracing frontend: record a GraphBLAS-mini loop body into a
+:class:`DataflowGraph` automatically.
+
+The paper's conclusion asks: *"How can we leverage the modern compiler
+framework for tensor applications to automatically find applications
+with cross-iteration reuse and accelerate them with the OEI
+dataflow?"* This module is that path for GraphBLAS-mini: run one loop
+iteration under a :class:`Tracer`, and every operation both executes
+(the values are real) and appends the corresponding IR node. The
+recorded graph feeds :func:`repro.dataflow.compiler.compile_program`
+unchanged, so OEI legality is decided from the trace, not from a
+hand-written graph.
+
+Example
+-------
+>>> tracer = Tracer("pagerank")
+>>> pr_t = tracer.source("pr", pr_vector)
+>>> link_t = tracer.constant_matrix("L", link)
+>>> y = tracer.vxm(pr_t, link_t, MUL_ADD)
+>>> scaled = tracer.apply_bind(y, TIMES, 0.85)
+>>> new = tracer.apply_scalar(scaled, PLUS, "teleport", teleport_value)
+>>> tracer.carry(new, pr_t)
+>>> program = compile_program(tracer.graph)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.dataflow.graph import DataflowGraph, OpKind, OpNode, TensorKind, TensorNode
+from repro.errors import CompileError
+from repro.graphblas import ops as gb_ops
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.vector import Vector
+from repro.semiring.binaryops import BinaryOp
+from repro.semiring.monoids import Monoid
+from repro.semiring.semirings import Semiring
+from repro.semiring.unaryops import UnaryOp
+
+
+@dataclass(frozen=True)
+class TracedVector:
+    """A live vector value tagged with its IR tensor node."""
+
+    node: TensorNode
+    value: Vector
+
+
+@dataclass(frozen=True)
+class TracedMatrix:
+    """A matrix operand tagged with its IR tensor node."""
+
+    node: TensorNode
+    value: Matrix
+
+
+@dataclass(frozen=True)
+class TracedScalar:
+    """A scalar value produced by a traced reduction."""
+
+    node: TensorNode
+    value: float
+
+
+class Tracer:
+    """Records one loop-body's operations while executing them."""
+
+    def __init__(self, name: str) -> None:
+        self.graph = DataflowGraph(name)
+        self._op_counter = itertools.count()
+        self._tensor_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Operand introduction
+    # ------------------------------------------------------------------
+    def source(self, name: str, value: Vector) -> TracedVector:
+        """A loop-carried input vector (e.g. the PageRank vector)."""
+        return TracedVector(self.graph.vector(name), value)
+
+    def constant_matrix(self, name: str, value: Matrix) -> TracedMatrix:
+        """The shared sparse matrix, constant across iterations — the
+        cross-iteration reuse target."""
+        return TracedMatrix(self.graph.matrix(name, constant=True), value)
+
+    def varying_matrix(self, name: str, value: Matrix) -> TracedMatrix:
+        """A matrix rewritten between iterations (no reuse possible)."""
+        return TracedMatrix(self.graph.matrix(name, constant=False), value)
+
+    def _fresh(self, prefix: str) -> str:
+        return f"{prefix}_{next(self._tensor_counter)}"
+
+    def _op_name(self, kind: str) -> str:
+        return f"{kind}_{next(self._op_counter)}"
+
+    # ------------------------------------------------------------------
+    # Traced operations (each executes AND records)
+    # ------------------------------------------------------------------
+    def vxm(
+        self, v: TracedVector, a: TracedMatrix, semiring: Semiring
+    ) -> TracedVector:
+        out = self.graph.vector(self._fresh("v"))
+        self.graph.vxm(self._op_name("vxm"), v.node, a.node, out, semiring.name)
+        return TracedVector(out, gb_ops.vxm(v.value, a.value, semiring))
+
+    def mxv(
+        self, a: TracedMatrix, v: TracedVector, semiring: Semiring
+    ) -> TracedVector:
+        out = self.graph.vector(self._fresh("v"))
+        self.graph.add_op(
+            OpNode(self._op_name("mxv"), OpKind.MXV, (v.node, a.node), out,
+                   op_name=semiring.name)
+        )
+        return TracedVector(out, gb_ops.mxv(a.value, v.value, semiring))
+
+    def ewise(
+        self, op: BinaryOp, u: TracedVector, v: TracedVector
+    ) -> TracedVector:
+        out = self.graph.vector(self._fresh("v"))
+        self.graph.ewise(self._op_name("ewise"), op.name, [u.node, v.node], out)
+        return TracedVector(out, gb_ops.ewise_add(u.value, v.value, op))
+
+    def ewise_mult(
+        self, op: BinaryOp, u: TracedVector, v: TracedVector
+    ) -> TracedVector:
+        out = self.graph.vector(self._fresh("v"))
+        self.graph.ewise(self._op_name("ewise"), op.name, [u.node, v.node], out)
+        return TracedVector(out, gb_ops.ewise_mult(u.value, v.value, op))
+
+    def apply(self, op: UnaryOp, u: TracedVector) -> TracedVector:
+        out = self.graph.vector(self._fresh("v"))
+        self.graph.ewise(self._op_name("apply"), op.name, [u.node], out)
+        return TracedVector(out, gb_ops.apply(u.value, op))
+
+    def apply_bind(
+        self, u: TracedVector, op: BinaryOp, immediate: float
+    ) -> TracedVector:
+        """Binary op with a compile-time constant operand."""
+        out = self.graph.vector(self._fresh("v"))
+        self.graph.ewise(
+            self._op_name("bind"), op.name, [u.node], out, immediate=float(immediate)
+        )
+        return TracedVector(out, gb_ops.apply_bind(u.value, op, immediate))
+
+    def apply_scalar(
+        self, u: TracedVector, op: BinaryOp, scalar_name: str, value: float
+    ) -> TracedVector:
+        """Binary op with a *runtime* scalar operand.
+
+        The scalar is identified by name: if a traced reduction of this
+        iteration produced a scalar with the same name, the compiler
+        will see the dependency and reject OEI paths through this op
+        (the CG ``alpha`` case); a fresh name marks a lagged or
+        external scalar (the PageRank ``teleport`` case).
+        """
+        self.graph.scalar(scalar_name)
+        out = self.graph.vector(self._fresh("v"))
+        self.graph.ewise(
+            self._op_name("bind"), op.name, [u.node], out, scalar_operand=scalar_name
+        )
+        return TracedVector(out, gb_ops.apply_bind(u.value, op, value))
+
+    def reduce(
+        self, u: TracedVector, monoid: Monoid, scalar_name: Optional[str] = None
+    ) -> TracedScalar:
+        name = scalar_name or self._fresh("s")
+        node = self.graph.scalar(name)
+        self.graph.reduce(self._op_name("reduce"), u.node, node, monoid.name)
+        return TracedScalar(node, gb_ops.reduce(u.value, monoid))
+
+    def dot(
+        self,
+        u: TracedVector,
+        v: TracedVector,
+        semiring: Semiring,
+        scalar_name: Optional[str] = None,
+    ) -> TracedScalar:
+        name = scalar_name or self._fresh("s")
+        node = self.graph.scalar(name)
+        self.graph.dot(self._op_name("dot"), u.node, v.node, node, semiring.name)
+        return TracedScalar(node, gb_ops.vector_dot(u.value, v.value, semiring))
+
+    # ------------------------------------------------------------------
+    # Loop wiring
+    # ------------------------------------------------------------------
+    def carry(self, produced: TracedVector, consumed_next: TracedVector) -> None:
+        """Declare that ``produced`` of this iteration becomes
+        ``consumed_next`` of the following iteration."""
+        if produced.node.name == consumed_next.node.name:
+            raise CompileError(
+                f"cannot carry {produced.node.name!r} into itself"
+            )
+        self.graph.carry(produced.node, consumed_next.node)

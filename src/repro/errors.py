@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Sparsepipe reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operands have incompatible shapes."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse tensor is structurally invalid (bad indptr, unsorted
+    indices, out-of-range coordinates, ...)."""
+
+
+class TypeMismatchError(ReproError, TypeError):
+    """Operands carry incompatible value types for the requested semiring."""
+
+
+class CompileError(ReproError, ValueError):
+    """The dataflow compiler rejected a tensor program (e.g. no OEI
+    subgraph where one was required, or an unfusable e-wise group)."""
+
+
+class ScheduleError(ReproError, RuntimeError):
+    """The OEI scheduler or the Sparsepipe pipeline reached an
+    inconsistent state (a bug, not a user error)."""
+
+
+class BufferError_(ReproError, RuntimeError):
+    """The on-chip buffer model was asked to do something impossible,
+    such as freeing space that was never reserved."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An architecture or experiment configuration is invalid."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its iteration cap."""

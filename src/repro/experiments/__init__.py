@@ -1,0 +1,11 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning structured rows
+and a ``main()`` that prints the paper-style table; the ``benchmarks/``
+tree wraps these under pytest-benchmark. See DESIGN.md section 4 for
+the experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from repro.experiments.runner import ExperimentContext
+
+__all__ = ["ExperimentContext"]

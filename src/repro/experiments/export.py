@@ -1,0 +1,96 @@
+"""Machine-readable export of every experiment's results.
+
+``export_all`` runs the full sweep and writes one JSON document with a
+section per table/figure — the raw series a plotting script (matplotlib
+or otherwise) needs to redraw the paper's charts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.experiments import (
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig21,
+    fig22,
+    fig23,
+    summary,
+    table1,
+)
+from repro.experiments.runner import ExperimentContext
+
+
+def collect_all(context: Optional[ExperimentContext] = None) -> Dict[str, object]:
+    """Run every experiment and gather plain-JSON-serializable results."""
+    context = context or ExperimentContext()
+    doc: Dict[str, object] = {}
+
+    doc["table1"] = [asdict(r) for r in table1.run()]
+    doc["fig14"] = [
+        {"workload": r.workload, "speedups": r.speedups,
+         "geomean": r.geomean, "max": r.max}
+        for r in fig14.run(context)
+    ]
+    doc["fig15"] = [
+        {
+            "workload": s.workload,
+            "matrix": s.matrix,
+            "speedup_over_ideal": s.speedup_over_ideal,
+            "utilization": [b.utilization for b in s.samples],
+            "progress": [b.progress for b in s.samples],
+        }
+        for s in fig15.run(context)
+    ]
+    doc["fig16"] = [
+        {"workload": r.workload, "iso_gpu": r.iso_gpu, "iso_cpu": r.iso_cpu,
+         "iso_gpu_geomean": r.iso_gpu_geomean,
+         "iso_cpu_geomean": r.iso_cpu_geomean}
+        for r in fig16.run(context)
+    ]
+    doc["fig17"] = [
+        {"workload": r.workload, "speedups": r.speedups, "geomean": r.geomean}
+        for r in fig17.run(context)
+    ]
+    doc["fig18"] = [
+        {"workload": r.workload, "fraction_of_oracle": r.fraction_of_oracle,
+         "geomean": r.geomean}
+        for r in fig18.run(context)
+    ]
+    doc["fig19"] = [
+        {"variant": r.variant, "speedup_vs_ideal": r.speedup_vs_ideal,
+         "geomean": r.geomean}
+        for r in fig19.run(context)
+    ]
+    doc["fig20a"] = [asdict(r) for r in fig20.run_storage(context)]
+    doc["fig20b"] = [asdict(r) for r in fig20.run_perf_per_area(context)]
+    doc["fig21"] = [
+        {"workload": r.workload, "utilization": r.utilization,
+         "memory_bound": r.memory_bound, "geomean": r.geomean}
+        for r in fig21.run(context)
+    ]
+    doc["fig22"] = [
+        {"system": r.system, "utilization": r.utilization}
+        for r in fig22.run(context)
+    ]
+    doc["fig23"] = [asdict(r) for r in fig23.run(context)]
+    doc["summary"] = [asdict(c) for c in summary.run(context)]
+    return doc
+
+
+def export_all(
+    path: Union[str, Path], context: Optional[ExperimentContext] = None
+) -> Path:
+    """Write the full result document to ``path`` as JSON."""
+    path = Path(path)
+    doc = collect_all(context)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    return path

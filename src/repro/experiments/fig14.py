@@ -1,0 +1,67 @@
+"""Fig 14: Sparsepipe (iso-GPU) speedup over the idealized sparse
+accelerator, for every application x matrix pair.
+
+The paper reports: up to 3.59x overall; per-application geometric means
+between 1.21x and 2.62x for OEI applications; 0.75x-1.20x for the two
+producer-consumer-only applications (cg, bgs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentContext
+from repro.util.numeric import geomean
+
+
+@dataclass(frozen=True)
+class Fig14Row:
+    workload: str
+    speedups: Dict[str, float]  #: matrix -> speedup over ideal
+
+    @property
+    def geomean(self) -> float:
+        return geomean(self.speedups.values())
+
+    @property
+    def max(self) -> float:
+        return max(self.speedups.values())
+
+
+def run(context: Optional[ExperimentContext] = None) -> List[Fig14Row]:
+    context = context or ExperimentContext()
+    rows: List[Fig14Row] = []
+    for workload in context.all_workloads():
+        speedups = {
+            matrix: context.speedup(workload, matrix, over="ideal")
+            for matrix in context.all_matrices()
+        }
+        rows.append(Fig14Row(workload, speedups))
+    return rows
+
+
+def main(context: Optional[ExperimentContext] = None) -> str:
+    rows = run(context)
+    matrices = list(rows[0].speedups)
+    text = format_table(
+        ["app"] + matrices + ["geomean", "max"],
+        [
+            [r.workload] + [r.speedups[m] for m in matrices] + [r.geomean, r.max]
+            for r in rows
+        ],
+        title="Fig 14: Sparsepipe speedup over the idealized sparse accelerator",
+    )
+    overall_max = max(r.max for r in rows)
+    oei = [r.geomean for r in rows if r.workload not in ("cg", "bgs")]
+    text += (
+        f"\noverall max {overall_max:.2f}x (paper: 3.59x); "
+        f"OEI-app geomeans {min(oei):.2f}x-{max(oei):.2f}x (paper: 1.21x-2.62x)"
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

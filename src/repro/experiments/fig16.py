@@ -1,0 +1,78 @@
+"""Fig 16: Sparsepipe speedup over the CPU STA framework.
+
+The paper reports 12.20x-35.14x per-application ranges for the iso-GPU
+configuration (excluding GCN, which additionally benefits from
+dp4a-like arithmetic and reaches up to 164.84x), and 1.31x-3.57x for
+the iso-CPU configuration (the pure OEI-dataflow benefit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch.config import CPU_DDR4
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentContext
+from repro.util.numeric import geomean
+
+
+@dataclass(frozen=True)
+class Fig16Row:
+    workload: str
+    iso_gpu: Dict[str, float]  #: matrix -> speedup over CPU, iso-GPU config
+    iso_cpu: Dict[str, float]  #: matrix -> speedup over CPU, iso-CPU config
+
+    @property
+    def iso_gpu_geomean(self) -> float:
+        return geomean(self.iso_gpu.values())
+
+    @property
+    def iso_cpu_geomean(self) -> float:
+        return geomean(self.iso_cpu.values())
+
+
+def run(context: Optional[ExperimentContext] = None) -> List[Fig16Row]:
+    context = context or ExperimentContext()
+    iso_cpu_config = context.config.with_memory(CPU_DDR4)
+    rows: List[Fig16Row] = []
+    for workload in context.all_workloads():
+        iso_gpu, iso_cpu = {}, {}
+        for matrix in context.all_matrices():
+            cpu = context.simulate("cpu", workload, matrix)
+            iso_gpu[matrix] = context.simulate(
+                "sparsepipe", workload, matrix
+            ).speedup_over(cpu)
+            iso_cpu[matrix] = context.simulate(
+                "sparsepipe", workload, matrix, config=iso_cpu_config
+            ).speedup_over(cpu)
+        rows.append(Fig16Row(workload, iso_gpu, iso_cpu))
+    return rows
+
+
+def main(context: Optional[ExperimentContext] = None) -> str:
+    rows = run(context)
+    matrices = list(rows[0].iso_gpu)
+    text = format_table(
+        ["app"] + matrices + ["geomean", "iso-cpu geomean"],
+        [
+            [r.workload]
+            + [r.iso_gpu[m] for m in matrices]
+            + [r.iso_gpu_geomean, r.iso_cpu_geomean]
+            for r in rows
+        ],
+        title="Fig 16: Sparsepipe speedup over the CPU framework (iso-GPU; last column iso-CPU)",
+    )
+    non_gcn = [r for r in rows if r.workload != "gcn"]
+    text += (
+        f"\niso-GPU geomeans {min(r.iso_gpu_geomean for r in non_gcn):.2f}x-"
+        f"{max(r.iso_gpu_geomean for r in non_gcn):.2f}x (paper: 12.20x-35.14x); "
+        f"iso-CPU geomeans {min(r.iso_cpu_geomean for r in non_gcn):.2f}x-"
+        f"{max(r.iso_cpu_geomean for r in non_gcn):.2f}x (paper: 1.31x-3.57x)"
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

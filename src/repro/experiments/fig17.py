@@ -1,0 +1,57 @@
+"""Fig 17: Sparsepipe speedup over the GPU framework for the four
+graph-analytics applications (bfs, kcore, pr, sssp).
+
+The paper reports a 4.65x geometric mean across all matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentContext, GPU_WORKLOADS
+from repro.util.numeric import geomean
+
+
+@dataclass(frozen=True)
+class Fig17Row:
+    workload: str
+    speedups: Dict[str, float]
+
+    @property
+    def geomean(self) -> float:
+        return geomean(self.speedups.values())
+
+
+def run(context: Optional[ExperimentContext] = None) -> List[Fig17Row]:
+    context = context or ExperimentContext()
+    rows: List[Fig17Row] = []
+    for workload in GPU_WORKLOADS:
+        speedups = {
+            matrix: context.speedup(workload, matrix, over="gpu")
+            for matrix in context.all_matrices()
+        }
+        rows.append(Fig17Row(workload, speedups))
+    return rows
+
+
+def overall_geomean(rows: List[Fig17Row]) -> float:
+    return geomean(s for r in rows for s in r.speedups.values())
+
+
+def main(context: Optional[ExperimentContext] = None) -> str:
+    rows = run(context)
+    matrices = list(rows[0].speedups)
+    text = format_table(
+        ["app"] + matrices + ["geomean"],
+        [[r.workload] + [r.speedups[m] for m in matrices] + [r.geomean] for r in rows],
+        title="Fig 17: Sparsepipe speedup over the GPU framework",
+    )
+    text += f"\noverall geomean {overall_geomean(rows):.2f}x (paper: 4.65x)"
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

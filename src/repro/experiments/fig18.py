@@ -1,0 +1,60 @@
+"""Fig 18: Sparsepipe performance relative to the oracle accelerator
+with perfect inter-operator reuse (paper average: 66.78%)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentContext
+from repro.util.numeric import geomean
+
+
+@dataclass(frozen=True)
+class Fig18Row:
+    workload: str
+    fraction_of_oracle: Dict[str, float]  #: matrix -> oracle_time / sp_time
+
+    @property
+    def geomean(self) -> float:
+        return geomean(self.fraction_of_oracle.values())
+
+
+def run(context: Optional[ExperimentContext] = None) -> List[Fig18Row]:
+    context = context or ExperimentContext()
+    rows: List[Fig18Row] = []
+    for workload in context.all_workloads():
+        fractions = {}
+        for matrix in context.all_matrices():
+            sp = context.simulate("sparsepipe", workload, matrix)
+            oracle = context.simulate("oracle", workload, matrix)
+            fractions[matrix] = oracle.seconds / sp.seconds
+        rows.append(Fig18Row(workload, fractions))
+    return rows
+
+
+def average_fraction(rows: List[Fig18Row]) -> float:
+    return geomean(v for r in rows for v in r.fraction_of_oracle.values())
+
+
+def main(context: Optional[ExperimentContext] = None) -> str:
+    rows = run(context)
+    matrices = list(rows[0].fraction_of_oracle)
+    text = format_table(
+        ["app"] + matrices + ["geomean"],
+        [
+            [r.workload]
+            + [100 * r.fraction_of_oracle[m] for m in matrices]
+            + [100 * r.geomean]
+            for r in rows
+        ],
+        title="Fig 18: Sparsepipe as % of the oracle accelerator's performance",
+    )
+    text += f"\naverage {100 * average_fraction(rows):.1f}% (paper: 66.78%)"
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Fig 19: sensitivity to the sparse tensor preprocessing.
+
+Four variants of Sparsepipe vs the ideal baseline:
+``none`` (no optimization — paper: still 1.37x), ``blocked`` (blocked
+storage only — up to +1.12x), ``reorder`` (row reorder only — +1.01x to
++1.03x), ``both`` (paper: 1.05x-1.34x over unoptimized Sparsepipe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentContext
+from repro.util.numeric import geomean
+
+#: (variant name, reorder algorithm, block size)
+VARIANTS: Tuple[Tuple[str, Optional[str], Optional[int]], ...] = (
+    ("none", None, None),
+    ("blocked", None, 256),
+    ("reorder", "vanilla", None),
+    ("both", "vanilla", 256),
+)
+
+#: Representative workloads for the sensitivity sweep.
+SWEEP_WORKLOADS = ("pr", "sssp", "kcore")
+
+
+@dataclass(frozen=True)
+class Fig19Row:
+    variant: str
+    speedup_vs_ideal: Dict[str, float]  #: matrix -> geomean over workloads
+
+    @property
+    def geomean(self) -> float:
+        return geomean(self.speedup_vs_ideal.values())
+
+
+def run(context: Optional[ExperimentContext] = None) -> List[Fig19Row]:
+    context = context or ExperimentContext()
+    rows: List[Fig19Row] = []
+    for variant, reorder, block_size in VARIANTS:
+        per_matrix: Dict[str, float] = {}
+        for matrix in context.all_matrices():
+            speedups = []
+            for workload in SWEEP_WORKLOADS:
+                sp = context.simulate(
+                    "sparsepipe", workload, matrix,
+                    reorder=reorder, block_size=block_size,
+                )
+                ideal = context.simulate("ideal", workload, matrix)
+                speedups.append(sp.speedup_over(ideal))
+            per_matrix[matrix] = geomean(speedups)
+        rows.append(Fig19Row(variant, per_matrix))
+    return rows
+
+
+def main(context: Optional[ExperimentContext] = None) -> str:
+    rows = run(context)
+    matrices = list(rows[0].speedup_vs_ideal)
+    text = format_table(
+        ["variant"] + matrices + ["geomean"],
+        [
+            [r.variant] + [r.speedup_vs_ideal[m] for m in matrices] + [r.geomean]
+            for r in rows
+        ],
+        title="Fig 19: preprocessing sensitivity (speedup over ideal baseline)",
+    )
+    none = next(r for r in rows if r.variant == "none")
+    both = next(r for r in rows if r.variant == "both")
+    text += (
+        f"\nunoptimized Sparsepipe {none.geomean:.2f}x over baseline (paper: 1.37x); "
+        f"both optimizations add {both.geomean / none.geomean:.2f}x "
+        "(paper: 1.05x-1.34x)"
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

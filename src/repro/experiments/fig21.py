@@ -1,0 +1,76 @@
+"""Fig 21: Sparsepipe memory bandwidth utilization, geometric mean
+across algorithms and matrices (paper: 82.93% over all applications,
+92.94% over the naturally memory-bound ones, i.e. excluding gmres and
+gcn)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentContext, MEMORY_BOUND_WORKLOADS
+from repro.util.numeric import geomean
+
+
+@dataclass(frozen=True)
+class Fig21Row:
+    workload: str
+    utilization: Dict[str, float]
+    memory_bound: bool
+
+    @property
+    def geomean(self) -> float:
+        return geomean(self.utilization.values())
+
+
+def run(context: Optional[ExperimentContext] = None) -> List[Fig21Row]:
+    context = context or ExperimentContext()
+    rows: List[Fig21Row] = []
+    for workload in context.all_workloads():
+        util = {
+            matrix: max(
+                1e-6,
+                context.simulate("sparsepipe", workload, matrix).bandwidth_utilization,
+            )
+            for matrix in context.all_matrices()
+        }
+        rows.append(
+            Fig21Row(workload, util, workload in MEMORY_BOUND_WORKLOADS)
+        )
+    return rows
+
+
+def summary(rows: List[Fig21Row]) -> Dict[str, float]:
+    all_vals = [v for r in rows for v in r.utilization.values()]
+    mb_vals = [v for r in rows if r.memory_bound for v in r.utilization.values()]
+    return {
+        "all": geomean(all_vals),
+        "memory_bound": geomean(mb_vals),
+    }
+
+
+def main(context: Optional[ExperimentContext] = None) -> str:
+    rows = run(context)
+    matrices = list(rows[0].utilization)
+    text = format_table(
+        ["app"] + matrices + ["geomean"],
+        [
+            [r.workload]
+            + [100 * r.utilization[m] for m in matrices]
+            + [100 * r.geomean]
+            for r in rows
+        ],
+        title="Fig 21: Sparsepipe bandwidth utilization (%)",
+    )
+    stats = summary(rows)
+    text += (
+        f"\ngeomean all apps {100 * stats['all']:.1f}% (paper: 82.93%); "
+        f"memory-bound only {100 * stats['memory_bound']:.1f}% (paper: 92.94%)"
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

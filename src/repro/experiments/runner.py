@@ -1,0 +1,153 @@
+"""Shared experiment infrastructure.
+
+:class:`ExperimentContext` memoizes the expensive intermediate products
+(preprocessed matrices, functional characterization runs, simulation
+results) so the per-figure drivers can share one cross-product sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.arch.config import SparsepipeConfig
+from repro.arch.profile import WorkloadProfile
+from repro.arch.simulator import SparsepipeSimulator
+from repro.arch.stats import SimResult
+from repro.baselines.cpu import CPUModel
+from repro.baselines.gpu import GPUModel
+from repro.baselines.ideal_accelerator import IdealAccelerator
+from repro.baselines.oracle import OracleAccelerator
+from repro.errors import ConfigError
+from repro.graphblas.matrix import Matrix
+from repro.matrices.suite import SUITE, load_suite_matrix, suite_names
+from repro.preprocess.pipeline import PreprocessResult, preprocess
+from repro.workloads.registry import get_workload, workload_names
+
+#: Architectures the experiments compare.
+ARCHITECTURES = ("sparsepipe", "ideal", "oracle", "cpu", "gpu")
+
+#: Workloads whose loop body is naturally memory-bound (Fig 21 separates
+#: these from gmres/gcn).
+MEMORY_BOUND_WORKLOADS = tuple(
+    w for w in ("pr", "kcore", "bfs", "sssp", "kpp", "knn", "label", "cg", "bgs")
+)
+
+#: The four representative (workload, matrix) pairs of Fig 15.
+FIG15_PAIRS = (("sssp", "bu"), ("knn", "eu"), ("kcore", "eu"), ("sssp", "wi"))
+
+#: The four applications compared against the GPU (Fig 17).
+GPU_WORKLOADS = ("bfs", "kcore", "pr", "sssp")
+
+
+@dataclass
+class ExperimentContext:
+    """Memoizing driver for the full (workload x matrix x arch) sweep.
+
+    ``workloads``/``matrices`` default to the full Table-III / Table-I
+    sets; pass subsets for quick exploratory runs and tests.
+    """
+
+    config: SparsepipeConfig = field(default_factory=SparsepipeConfig)
+    reorder: Optional[str] = "vanilla"
+    block_size: Optional[int] = 256
+    workloads: Optional[Tuple[str, ...]] = None
+    matrices: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        self._preps: Dict[Tuple, PreprocessResult] = {}
+        self._graphblas: Dict[str, Matrix] = {}
+        self._profiles: Dict[Tuple[str, str], WorkloadProfile] = {}
+        self._results: Dict[Tuple, SimResult] = {}
+
+    # ------------------------------------------------------------------
+    # Cached intermediates
+    # ------------------------------------------------------------------
+    def graphblas_matrix(self, matrix_name: str) -> Matrix:
+        if matrix_name not in self._graphblas:
+            self._graphblas[matrix_name] = Matrix(load_suite_matrix(matrix_name))
+        return self._graphblas[matrix_name]
+
+    def prepared(
+        self,
+        matrix_name: str,
+        reorder: Optional[str] = "default",
+        block_size: object = "default",
+    ) -> PreprocessResult:
+        """Preprocessed matrix; pass explicit ``reorder``/``block_size``
+        for the Fig 19/20 sensitivity variants."""
+        if reorder == "default":
+            reorder = self.reorder
+        if block_size == "default":
+            block_size = self.block_size
+        key = (matrix_name, reorder, block_size)
+        if key not in self._preps:
+            self._preps[key] = preprocess(
+                load_suite_matrix(matrix_name), reorder=reorder, block_size=block_size
+            )
+        return self._preps[key]
+
+    def profile(self, workload_name: str, matrix_name: str) -> WorkloadProfile:
+        """Workload profile from the functional characterization run."""
+        key = (workload_name, matrix_name)
+        if key not in self._profiles:
+            workload = get_workload(workload_name)
+            self._profiles[key] = workload.profile(self.graphblas_matrix(matrix_name))
+        return self._profiles[key]
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        arch: str,
+        workload_name: str,
+        matrix_name: str,
+        config: Optional[SparsepipeConfig] = None,
+        reorder: Optional[str] = "default",
+        block_size: object = "default",
+    ) -> SimResult:
+        """Run (and cache) one architecture on one (workload, matrix)."""
+        if arch not in ARCHITECTURES:
+            raise ConfigError(f"unknown architecture {arch!r}; expected {ARCHITECTURES}")
+        cfg = config or self.config
+        key = (arch, workload_name, matrix_name, id(config), reorder, block_size)
+        if key in self._results:
+            return self._results[key]
+        profile = self.profile(workload_name, matrix_name)
+        prep = self.prepared(matrix_name, reorder=reorder, block_size=block_size)
+        paper_nnz = SUITE[matrix_name].paper_nnz
+        if arch == "sparsepipe":
+            result = SparsepipeSimulator(cfg).run(profile, prep, paper_nnz=paper_nnz)
+        elif arch == "ideal":
+            result = IdealAccelerator(cfg).run(profile, prep, paper_nnz=paper_nnz)
+        elif arch == "oracle":
+            result = OracleAccelerator(cfg).run(profile, prep, paper_nnz=paper_nnz)
+        elif arch == "cpu":
+            result = CPUModel().run(profile, prep, paper_nnz=paper_nnz)
+        else:
+            result = GPUModel().run(profile, prep, paper_nnz=paper_nnz)
+        self._results[key] = result
+        return result
+
+    def speedup(
+        self, workload_name: str, matrix_name: str, over: str,
+        config: Optional[SparsepipeConfig] = None,
+    ) -> float:
+        """Sparsepipe speedup over a baseline architecture."""
+        sp = self.simulate("sparsepipe", workload_name, matrix_name, config=config)
+        base = self.simulate(over, workload_name, matrix_name, config=config)
+        return sp.speedup_over(base)
+
+    # ------------------------------------------------------------------
+    # Sweep helpers
+    # ------------------------------------------------------------------
+    def all_workloads(self) -> Tuple[str, ...]:
+        if self.workloads is not None:
+            return self.workloads
+        return tuple(workload_names())
+
+    def all_matrices(self) -> Tuple[str, ...]:
+        if self.matrices is not None:
+            return self.matrices
+        return tuple(suite_names())

@@ -1,0 +1,66 @@
+"""Table I: on-chip footprint of the OEI reuse window per matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.report import format_table
+from repro.matrices.suite import SUITE, load_suite_matrix, suite_names
+from repro.oei.reuse import reuse_footprint
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    matrix: str
+    rows: int
+    nnz: int
+    max_live: int
+    max_pct: float
+    avg_live: float
+    avg_pct: float
+    paper_max_pct: float
+    paper_avg_pct: float
+
+
+def run() -> List[Table1Row]:
+    """Measure the reuse-window footprint of every suite matrix."""
+    out: List[Table1Row] = []
+    for name in suite_names():
+        matrix = load_suite_matrix(name)
+        stats = reuse_footprint(matrix)
+        spec = SUITE[name]
+        out.append(
+            Table1Row(
+                matrix=name,
+                rows=matrix.nrows,
+                nnz=stats.nnz,
+                max_live=stats.max_live,
+                max_pct=stats.max_pct,
+                avg_live=stats.avg_live,
+                avg_pct=stats.avg_pct,
+                paper_max_pct=spec.paper_max_pct,
+                paper_avg_pct=spec.paper_avg_pct,
+            )
+        )
+    return out
+
+
+def main() -> str:
+    rows = run()
+    text = format_table(
+        ["matrix", "row/col", "nnz", "max", "max(%)", "avg", "avg(%)",
+         "paper max(%)", "paper avg(%)"],
+        [
+            (r.matrix, r.rows, r.nnz, r.max_live, r.max_pct,
+             round(r.avg_live), r.avg_pct, r.paper_max_pct, r.paper_avg_pct)
+            for r in rows
+        ],
+        title="Table I: portion of sparse matrix stored on-chip for the OEI dataflow",
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

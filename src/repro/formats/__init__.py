@@ -1,0 +1,38 @@
+"""Sparse tensor storage formats, implemented from scratch.
+
+The paper's Sparsepipe buffer keeps the input matrix in a *dual* CSC+CSR
+layout (Section IV-B) and optionally compresses it with a blocked
+UOP-CP-CP fibertree layout (Section IV-E2). This package provides:
+
+- :class:`COOMatrix`, :class:`CSRMatrix`, :class:`CSCMatrix` - the basic
+  formats with conversions between them,
+- :class:`DualStorage` - the naive CSC+CSR duplication with exact byte
+  accounting,
+- :class:`BlockedDualStorage` - the blocked compressed dual storage,
+- MatrixMarket I/O (:func:`read_matrix_market`, :func:`write_matrix_market`).
+"""
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.convert import (
+    coo_to_compressed,
+    csr_to_csc,
+    csc_to_csr,
+)
+from repro.formats.dual import DualStorage
+from repro.formats.blocked import BlockedDualStorage
+from repro.formats.matrix_market import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "DualStorage",
+    "BlockedDualStorage",
+    "coo_to_compressed",
+    "csr_to_csc",
+    "csc_to_csr",
+    "read_matrix_market",
+    "write_matrix_market",
+]

@@ -1,0 +1,65 @@
+"""Conversions between the sparse formats.
+
+The core kernel :func:`coo_to_compressed` compresses sorted coordinates
+into (indptr, indices, data); both CSR and CSC construction and the
+CSR<->CSC transposing conversions reduce to it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.formats.csc import CSCMatrix
+    from repro.formats.csr import CSRMatrix
+
+
+def coo_to_compressed(
+    n_major: int,
+    major: np.ndarray,
+    minor: np.ndarray,
+    vals: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compress coordinate arrays along ``major``.
+
+    Input need not be sorted or deduplicated; duplicates are summed.
+    Returns ``(indptr, indices, data)`` with indices sorted within each
+    major slice.
+    """
+    major = np.asarray(major, dtype=np.int64)
+    minor = np.asarray(minor, dtype=np.int64)
+    vals = np.asarray(vals)
+    order = np.lexsort((minor, major))
+    major, minor, vals = major[order], minor[order], vals[order]
+    if major.size:
+        keys_equal = (major[1:] == major[:-1]) & (minor[1:] == minor[:-1])
+        if keys_equal.any():
+            boundaries = np.concatenate(([True], ~keys_equal))
+            group = np.cumsum(boundaries) - 1
+            summed = np.zeros(int(group[-1]) + 1, dtype=vals.dtype)
+            np.add.at(summed, group, vals)
+            major, minor, vals = major[boundaries], minor[boundaries], summed
+    counts = np.bincount(major, minlength=n_major)
+    indptr = np.zeros(n_major + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, minor, vals
+
+
+def csr_to_csc(csr: "CSRMatrix") -> "CSCMatrix":
+    """Transpose-convert CSR to CSC without changing the logical matrix."""
+    from repro.formats.csc import CSCMatrix
+
+    rows, cols, vals = csr.to_coo_arrays()
+    indptr, indices, data = coo_to_compressed(csr.ncols, cols, rows, vals)
+    return CSCMatrix(csr.shape, indptr, indices, data)
+
+
+def csc_to_csr(csc: "CSCMatrix") -> "CSRMatrix":
+    """Transpose-convert CSC to CSR without changing the logical matrix."""
+    from repro.formats.csr import CSRMatrix
+
+    rows, cols, vals = csc.to_coo_arrays()
+    indptr, indices, data = coo_to_compressed(csc.nrows, rows, cols, vals)
+    return CSRMatrix(csc.shape, indptr, indices, data)

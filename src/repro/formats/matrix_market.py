@@ -1,0 +1,100 @@
+"""Minimal MatrixMarket coordinate-format reader and writer.
+
+SuiteSparse distributes its matrices in this format; the library reads
+``real``, ``integer``, and ``pattern`` coordinate files with ``general``
+or ``symmetric`` symmetry, which covers every matrix the paper uses.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric"}
+
+
+def read_matrix_market(source: Union[str, Path, io.TextIOBase]) -> COOMatrix:
+    """Parse a MatrixMarket coordinate file into a :class:`COOMatrix`.
+
+    ``pattern`` entries get value 1.0; ``symmetric`` files are expanded
+    by mirroring off-diagonal entries.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as handle:
+            return read_matrix_market(handle)
+
+    header = source.readline().strip().split()
+    if len(header) < 5 or header[0] != "%%MatrixMarket" or header[1] != "matrix":
+        raise FormatError(f"not a MatrixMarket matrix header: {' '.join(header)!r}")
+    layout, field, symmetry = header[2], header[3].lower(), header[4].lower()
+    if layout != "coordinate":
+        raise FormatError(f"only coordinate layout is supported, got {layout!r}")
+    if field not in _SUPPORTED_FIELDS:
+        raise FormatError(f"unsupported field {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRY:
+        raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+    size_line = None
+    for line in source:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            size_line = stripped
+            break
+    if size_line is None:
+        raise FormatError("missing size line")
+    parts = size_line.split()
+    if len(parts) != 3:
+        raise FormatError(f"malformed size line: {size_line!r}")
+    nrows, ncols, nnz = (int(p) for p in parts)
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.ones(nnz, dtype=np.float64)
+    seen = 0
+    for line in source:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        if seen >= nnz:
+            raise FormatError("more entries than declared in the size line")
+        fields = stripped.split()
+        rows[seen] = int(fields[0]) - 1  # MatrixMarket is 1-based
+        cols[seen] = int(fields[1]) - 1
+        if field != "pattern":
+            if len(fields) < 3:
+                raise FormatError(f"missing value on entry line: {stripped!r}")
+            vals[seen] = float(fields[2])
+        seen += 1
+    if seen != nnz:
+        raise FormatError(f"declared {nnz} entries but found {seen}")
+
+    if symmetry == "symmetric":
+        off_diag = rows != cols
+        mirror_rows, mirror_cols, mirror_vals = cols[off_diag], rows[off_diag], vals[off_diag]
+        rows = np.concatenate((rows, mirror_rows))
+        cols = np.concatenate((cols, mirror_cols))
+        vals = np.concatenate((vals, mirror_vals))
+    return COOMatrix((nrows, ncols), rows, cols, vals)
+
+
+def write_matrix_market(
+    matrix: COOMatrix, destination: Union[str, Path, io.TextIOBase]
+) -> None:
+    """Write a :class:`COOMatrix` as a ``general real`` coordinate file."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="ascii") as handle:
+            write_matrix_market(matrix, handle)
+        return
+
+    dedup = matrix.deduplicate()
+    destination.write("%%MatrixMarket matrix coordinate real general\n")
+    destination.write(f"{dedup.nrows} {dedup.ncols} {dedup.nnz}\n")
+    for r, c, v in zip(dedup.rows, dedup.cols, dedup.vals):
+        destination.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")

@@ -1,0 +1,75 @@
+"""GraphBLAS-mini: the tensor programming frontend.
+
+The paper writes its applications against ALP/GraphBLAS (Fig 1); this
+package is the equivalent substrate for this reproduction. It provides
+sparse :class:`Matrix` / :class:`Vector` containers and the semiring
+operation set used by every workload in Table III: ``vxm``/``mxv``,
+``mxm``, element-wise union/intersection, ``apply``, ``reduce``,
+``select``, masks, and accumulators.
+"""
+
+from repro.graphblas.vector import Vector
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.mask import Mask
+from repro.graphblas.ops import (
+    vxm,
+    mxv,
+    mxm,
+    mxm_dense,
+    ewise_add,
+    ewise_mult,
+    apply,
+    apply_bind,
+    reduce as reduce_vector,
+    select,
+    vector_dot,
+    assign_scalar,
+)
+from repro.graphblas.algorithms import (
+    connected_components,
+    reachable_from,
+    triangle_count,
+)
+from repro.graphblas.matrix_ops import (
+    assign,
+    diag,
+    diag_matrix,
+    ewise_add_matrix,
+    ewise_mult_matrix,
+    extract,
+    reduce_cols,
+    reduce_rows,
+    select_matrix,
+    select_matrix_coords,
+)
+
+__all__ = [
+    "Vector",
+    "Matrix",
+    "Mask",
+    "vxm",
+    "mxv",
+    "mxm",
+    "mxm_dense",
+    "ewise_add",
+    "ewise_mult",
+    "apply",
+    "apply_bind",
+    "reduce_vector",
+    "select",
+    "vector_dot",
+    "assign_scalar",
+    "assign",
+    "diag",
+    "diag_matrix",
+    "ewise_add_matrix",
+    "ewise_mult_matrix",
+    "extract",
+    "reduce_cols",
+    "reduce_rows",
+    "select_matrix",
+    "select_matrix_coords",
+    "triangle_count",
+    "connected_components",
+    "reachable_from",
+]

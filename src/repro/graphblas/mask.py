@@ -1,0 +1,37 @@
+"""Write masks for GraphBLAS-mini operations.
+
+A mask restricts which output positions an operation may write; BFS is
+the canonical user (it masks out already-visited vertices when
+expanding the frontier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.graphblas.vector import Vector
+
+
+@dataclass(frozen=True)
+class Mask:
+    """A structural mask over output positions.
+
+    ``complement=False`` permits writes where the mask vector has a
+    stored entry; ``complement=True`` permits writes everywhere else.
+    """
+
+    vector: Vector
+    complement: bool = False
+
+    def allowed(self, size: int) -> np.ndarray:
+        """Boolean array of writable positions."""
+        if self.vector.size != size:
+            raise ShapeError(
+                f"mask size {self.vector.size} does not match output size {size}"
+            )
+        if self.complement:
+            return ~self.vector.present
+        return self.vector.present.copy()

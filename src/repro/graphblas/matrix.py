@@ -1,0 +1,102 @@
+"""GraphBLAS-style sparse matrix wrapper.
+
+Holds the canonical COO form and lazily materializes CSR (row access,
+IS stage / ``mxv``) and CSC (column access, OS stage / ``vxm``) images —
+the host-side mirror of Sparsepipe's dual sparse storage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+
+class Matrix:
+    """Immutable sparse matrix with lazy dual-orientation views."""
+
+    def __init__(self, coo: COOMatrix) -> None:
+        self._coo = coo.deduplicate()
+        self._csr: Optional[CSRMatrix] = None
+        self._csc: Optional[CSCMatrix] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "Matrix":
+        return cls(COOMatrix.from_dense(dense))
+
+    @classmethod
+    def from_entries(
+        cls,
+        shape: Tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+    ) -> "Matrix":
+        return cls(COOMatrix(shape, rows, cols, vals))
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "Matrix":
+        out = cls(csr.to_coo())
+        out._csr = csr
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._coo.shape
+
+    @property
+    def nrows(self) -> int:
+        return self._coo.nrows
+
+    @property
+    def ncols(self) -> int:
+        return self._coo.ncols
+
+    @property
+    def nnz(self) -> int:
+        return self._coo.nnz
+
+    @property
+    def coo(self) -> COOMatrix:
+        return self._coo
+
+    @property
+    def csr(self) -> CSRMatrix:
+        """Row-oriented view, built on first use."""
+        if self._csr is None:
+            self._csr = CSRMatrix.from_coo(self._coo)
+        return self._csr
+
+    @property
+    def csc(self) -> CSCMatrix:
+        """Column-oriented view, built on first use."""
+        if self._csc is None:
+            self._csc = CSCMatrix.from_coo(self._coo)
+        return self._csc
+
+    def to_dense(self) -> np.ndarray:
+        return self._coo.to_dense()
+
+    def transpose(self) -> "Matrix":
+        return Matrix(self._coo.transpose())
+
+    def row_degrees(self) -> np.ndarray:
+        """Stored entries per row (out-degree for a graph adjacency)."""
+        return self.csr.row_nnz()
+
+    def col_degrees(self) -> np.ndarray:
+        """Stored entries per column (in-degree for a graph adjacency)."""
+        return self.csc.col_nnz()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Matrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,156 @@
+"""Matrix-level GraphBLAS-mini operations.
+
+Completes the operation set of the frontend beyond the
+contraction/vector ops in :mod:`repro.graphblas.ops`: matrix
+element-wise combines, select, row/column reductions, diagonal
+extraction/construction, and sub-vector extract/assign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.coo import COOMatrix
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.vector import Vector
+from repro.semiring.binaryops import BinaryOp
+from repro.semiring.monoids import Monoid
+
+
+def ewise_add_matrix(a: Matrix, b: Matrix, op: BinaryOp) -> Matrix:
+    """Union element-wise combine of two matrices: where both store an
+    entry apply ``op``; where one stores, pass it through."""
+    if a.shape != b.shape:
+        raise ShapeError(f"matrix shapes differ: {a.shape} vs {b.shape}")
+    a_coo, b_coo = a.coo, b.coo
+    keys_a = a_coo.rows * a.ncols + a_coo.cols
+    keys_b = b_coo.rows * b.ncols + b_coo.cols
+    common, ia, ib = np.intersect1d(keys_a, keys_b, return_indices=True)
+    only_a = np.setdiff1d(np.arange(keys_a.size), ia, assume_unique=True)
+    only_b = np.setdiff1d(np.arange(keys_b.size), ib, assume_unique=True)
+    rows = np.concatenate((common // a.ncols, a_coo.rows[only_a], b_coo.rows[only_b]))
+    cols = np.concatenate((common % a.ncols, a_coo.cols[only_a], b_coo.cols[only_b]))
+    vals = np.concatenate(
+        (op(a_coo.vals[ia], b_coo.vals[ib]), a_coo.vals[only_a], b_coo.vals[only_b])
+    )
+    return Matrix(COOMatrix(a.shape, rows, cols, vals))
+
+
+def ewise_mult_matrix(a: Matrix, b: Matrix, op: BinaryOp) -> Matrix:
+    """Intersection element-wise combine of two matrices."""
+    if a.shape != b.shape:
+        raise ShapeError(f"matrix shapes differ: {a.shape} vs {b.shape}")
+    a_coo, b_coo = a.coo, b.coo
+    keys_a = a_coo.rows * a.ncols + a_coo.cols
+    keys_b = b_coo.rows * b.ncols + b_coo.cols
+    common, ia, ib = np.intersect1d(keys_a, keys_b, return_indices=True)
+    return Matrix(
+        COOMatrix(
+            a.shape,
+            common // a.ncols,
+            common % a.ncols,
+            op(a_coo.vals[ia], b_coo.vals[ib]),
+        )
+    )
+
+
+def select_matrix(a: Matrix, predicate: Callable[[np.ndarray], np.ndarray]) -> Matrix:
+    """Keep entries whose value satisfies the vectorized predicate
+    (GraphBLAS ``select``; e.g. ``tril``/thresholding)."""
+    coo = a.coo
+    keep = np.asarray(predicate(coo.vals), dtype=bool)
+    return Matrix(COOMatrix(a.shape, coo.rows[keep], coo.cols[keep], coo.vals[keep]))
+
+
+def select_matrix_coords(
+    a: Matrix, predicate: Callable[[np.ndarray, np.ndarray], np.ndarray]
+) -> Matrix:
+    """Keep entries whose coordinates satisfy the predicate, e.g.
+    ``lambda r, c: r > c`` for the strict lower triangle."""
+    coo = a.coo
+    keep = np.asarray(predicate(coo.rows, coo.cols), dtype=bool)
+    return Matrix(COOMatrix(a.shape, coo.rows[keep], coo.cols[keep], coo.vals[keep]))
+
+
+def reduce_rows(a: Matrix, monoid: Monoid) -> Vector:
+    """Reduce each row to a scalar (GraphBLAS row-wise ``reduce``);
+    structurally empty rows produce no stored entry."""
+    coo = a.coo
+    values = monoid.segment_reduce(coo.vals, coo.rows, a.nrows)
+    present = np.zeros(a.nrows, dtype=bool)
+    present[coo.rows] = True
+    out = Vector.empty(a.nrows)
+    out.values[present] = values[present]
+    out.present[:] = present
+    return out
+
+
+def reduce_cols(a: Matrix, monoid: Monoid) -> Vector:
+    """Reduce each column to a scalar."""
+    coo = a.coo
+    values = monoid.segment_reduce(coo.vals, coo.cols, a.ncols)
+    present = np.zeros(a.ncols, dtype=bool)
+    present[coo.cols] = True
+    out = Vector.empty(a.ncols)
+    out.values[present] = values[present]
+    out.present[:] = present
+    return out
+
+
+def diag(a: Matrix) -> Vector:
+    """Extract the main diagonal as a vector (absent where unstored)."""
+    coo = a.coo
+    on_diag = coo.rows == coo.cols
+    out = Vector.empty(min(a.nrows, a.ncols))
+    out.values[coo.rows[on_diag]] = coo.vals[on_diag]
+    out.present[coo.rows[on_diag]] = True
+    return out
+
+
+def diag_matrix(v: Vector) -> Matrix:
+    """Build a diagonal matrix from a vector's stored entries."""
+    idx, vals = v.entries()
+    return Matrix(COOMatrix((v.size, v.size), idx, idx, vals))
+
+
+def extract(u: Vector, indices: Sequence[int]) -> Vector:
+    """Sub-vector extraction: ``w[k] = u[indices[k]]`` with presence
+    carried through."""
+    idx = np.asarray(list(indices), dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= u.size):
+        raise IndexError("extract index out of range")
+    out = Vector.empty(idx.size)
+    out.values[:] = u.values[idx]
+    out.present[:] = u.present[idx]
+    return out
+
+
+def assign(
+    u: Vector, indices: Sequence[int], values: Vector, accum: Optional[BinaryOp] = None
+) -> Vector:
+    """Sub-vector assignment: write ``values``'s stored entries into
+    ``u`` at ``indices`` (optionally combining with ``accum``)."""
+    idx = np.asarray(list(indices), dtype=np.int64)
+    if idx.size != values.size:
+        raise ShapeError(
+            f"{idx.size} indices but value vector of size {values.size}"
+        )
+    if idx.size and (idx.min() < 0 or idx.max() >= u.size):
+        raise IndexError("assign index out of range")
+    out = u.dup()
+    stored = values.present
+    targets = idx[stored]
+    incoming = values.values[stored]
+    if accum is not None:
+        existing = out.present[targets]
+        merged = np.where(
+            existing, accum(out.values[targets], incoming), incoming
+        )
+        out.values[targets] = merged
+    else:
+        out.values[targets] = incoming
+    out.present[targets] = True
+    return out

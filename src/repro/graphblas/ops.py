@@ -1,0 +1,282 @@
+"""GraphBLAS-mini operations.
+
+Every operation is out-of-place (inputs are never mutated) and takes an
+optional :class:`Mask` plus an optional accumulator binary op, mirroring
+the C API shape ``op(out, mask, accum, ...)`` without in-place mutation.
+
+``vxm`` traverses the CSC image (the paper's OS orientation) and ``mxv``
+the CSR image (IS orientation); both compute the same contraction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.coo import COOMatrix
+from repro.graphblas.mask import Mask
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.vector import Vector
+from repro.semiring.binaryops import BinaryOp
+from repro.semiring.monoids import Monoid
+from repro.semiring.semirings import MUL_ADD, Semiring
+from repro.semiring.unaryops import UnaryOp
+
+
+def _finalize(
+    raw_values: np.ndarray,
+    raw_present: np.ndarray,
+    mask: Optional[Mask],
+    accum: Optional[BinaryOp],
+    out: Optional[Vector],
+) -> Vector:
+    """Apply mask and accumulator to a raw result.
+
+    The mask limits which computed entries land in the output; with an
+    accumulator, stored entries of ``out`` outside the computed/masked
+    region survive and overlapping entries combine via ``accum``.
+    """
+    size = raw_values.size
+    writable = mask.allowed(size) if mask is not None else np.ones(size, dtype=bool)
+    landing = raw_present & writable
+
+    if accum is None or out is None:
+        result = Vector.empty(size)
+        result.values[landing] = raw_values[landing]
+        result.present[landing] = True
+        if accum is None and out is not None and mask is not None:
+            # Masked write without accumulator keeps out's entries
+            # outside the mask (GraphBLAS non-replace semantics).
+            keep = out.present & ~writable
+            result.values[keep] = out.values[keep]
+            result.present[keep] = True
+        return result
+
+    if out.size != size:
+        raise ShapeError(f"out size {out.size} does not match result size {size}")
+    result = out.dup()
+    both = landing & out.present
+    fresh = landing & ~out.present
+    result.values[both] = accum(out.values[both], raw_values[both])
+    result.values[fresh] = raw_values[fresh]
+    result.present[fresh] = True
+    return result
+
+
+# ----------------------------------------------------------------------
+# Matrix-vector contractions
+# ----------------------------------------------------------------------
+def vxm(
+    v: Vector,
+    a: Matrix,
+    semiring: Semiring = MUL_ADD,
+    mask: Optional[Mask] = None,
+    accum: Optional[BinaryOp] = None,
+    out: Optional[Vector] = None,
+) -> Vector:
+    """``w = v^T A`` over ``semiring`` — output element ``j`` reduces the
+    products of stored ``v[i]`` with stored ``A[i, j]`` down column ``j``."""
+    if v.size != a.nrows:
+        raise ShapeError(f"vector size {v.size} does not match nrows {a.nrows}")
+    csc = a.csc
+    col_ids = np.repeat(np.arange(a.ncols, dtype=np.int64), csc.col_nnz())
+    contributes = v.present[csc.indices]
+    rows = csc.indices[contributes]
+    cols = col_ids[contributes]
+    products = semiring.mul(v.values[rows], csc.data[contributes])
+    raw_values = semiring.add.segment_reduce(products, cols, a.ncols)
+    raw_present = np.zeros(a.ncols, dtype=bool)
+    raw_present[cols] = True
+    return _finalize(raw_values, raw_present, mask, accum, out)
+
+
+def mxv(
+    a: Matrix,
+    v: Vector,
+    semiring: Semiring = MUL_ADD,
+    mask: Optional[Mask] = None,
+    accum: Optional[BinaryOp] = None,
+    out: Optional[Vector] = None,
+) -> Vector:
+    """``w = A v`` over ``semiring`` — the row-oriented dual of :func:`vxm`."""
+    if v.size != a.ncols:
+        raise ShapeError(f"vector size {v.size} does not match ncols {a.ncols}")
+    csr = a.csr
+    row_ids = np.repeat(np.arange(a.nrows, dtype=np.int64), csr.row_nnz())
+    contributes = v.present[csr.indices]
+    cols = csr.indices[contributes]
+    rows = row_ids[contributes]
+    products = semiring.mul(csr.data[contributes], v.values[cols])
+    raw_values = semiring.add.segment_reduce(products, rows, a.nrows)
+    raw_present = np.zeros(a.nrows, dtype=bool)
+    raw_present[rows] = True
+    return _finalize(raw_values, raw_present, mask, accum, out)
+
+
+def mxm(a: Matrix, b: Matrix, semiring: Semiring = MUL_ADD) -> Matrix:
+    """Sparse-sparse matrix multiply over ``semiring`` (Gustavson
+    expansion, fully vectorized)."""
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions differ: {a.ncols} vs {b.nrows}")
+    a_csr, b_csr = a.csr, b.csr
+    i_ids = np.repeat(np.arange(a.nrows, dtype=np.int64), a_csr.row_nnz())
+    k_ids = a_csr.indices
+    counts = (b_csr.indptr[k_ids + 1] - b_csr.indptr[k_ids]).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return Matrix(COOMatrix.empty((a.nrows, b.ncols)))
+    out_rows = np.repeat(i_ids, counts)
+    a_rep = np.repeat(a_csr.data, counts)
+    starts = np.repeat(b_csr.indptr[k_ids], counts)
+    intra = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    positions = starts + intra
+    out_cols = b_csr.indices[positions]
+    products = semiring.mul(a_rep, b_csr.data[positions])
+
+    keys = out_rows * b.ncols + out_cols
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    reduced = semiring.add.segment_reduce(products, inverse, unique_keys.size)
+    return Matrix(
+        COOMatrix(
+            (a.nrows, b.ncols),
+            unique_keys // b.ncols,
+            unique_keys % b.ncols,
+            reduced,
+        )
+    )
+
+
+def mxm_dense(a: Matrix, b: np.ndarray, semiring: Semiring = MUL_ADD) -> np.ndarray:
+    """Sparse x dense multiply (the SpMM of the GCN pipeline, Fig 5)."""
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 2 or b.shape[0] != a.ncols:
+        raise ShapeError(f"dense operand shape {b.shape} incompatible with {a.shape}")
+    if semiring.add.op.ufunc is None:
+        raise NotImplementedError(
+            f"mxm_dense needs a ufunc-backed add monoid, got {semiring.add.name}"
+        )
+    csr = a.csr
+    rows = np.repeat(np.arange(a.nrows, dtype=np.int64), csr.row_nnz())
+    products = semiring.mul(csr.data[:, None], b[csr.indices])
+    out = np.full((a.nrows, b.shape[1]), semiring.zero, dtype=np.float64)
+    semiring.add.op.ufunc.at(out, rows, products)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Element-wise operations
+# ----------------------------------------------------------------------
+def ewise_add(
+    u: Vector,
+    v: Vector,
+    op: BinaryOp,
+    mask: Optional[Mask] = None,
+    accum: Optional[BinaryOp] = None,
+    out: Optional[Vector] = None,
+) -> Vector:
+    """Union element-wise combine: where both stored apply ``op``, where
+    one stored pass it through."""
+    if u.size != v.size:
+        raise ShapeError(f"vector sizes differ: {u.size} vs {v.size}")
+    both = u.present & v.present
+    only_u = u.present & ~v.present
+    only_v = v.present & ~u.present
+    raw_values = np.zeros(u.size, dtype=np.float64)
+    raw_values[both] = op(u.values[both], v.values[both])
+    raw_values[only_u] = u.values[only_u]
+    raw_values[only_v] = v.values[only_v]
+    return _finalize(raw_values, u.present | v.present, mask, accum, out)
+
+
+def ewise_mult(
+    u: Vector,
+    v: Vector,
+    op: BinaryOp,
+    mask: Optional[Mask] = None,
+    accum: Optional[BinaryOp] = None,
+    out: Optional[Vector] = None,
+) -> Vector:
+    """Intersection element-wise combine: output stored only where both
+    inputs are stored."""
+    if u.size != v.size:
+        raise ShapeError(f"vector sizes differ: {u.size} vs {v.size}")
+    both = u.present & v.present
+    raw_values = np.zeros(u.size, dtype=np.float64)
+    raw_values[both] = op(u.values[both], v.values[both])
+    return _finalize(raw_values, both, mask, accum, out)
+
+
+def apply(
+    u: Vector,
+    op: UnaryOp,
+    mask: Optional[Mask] = None,
+    accum: Optional[BinaryOp] = None,
+    out: Optional[Vector] = None,
+) -> Vector:
+    """Apply a unary op to every stored entry."""
+    raw_values = np.zeros(u.size, dtype=np.float64)
+    raw_values[u.present] = op(u.values[u.present])
+    return _finalize(raw_values, u.present.copy(), mask, accum, out)
+
+
+def apply_bind(
+    u: Vector,
+    op: BinaryOp,
+    scalar: float,
+    bind_right: bool = True,
+    mask: Optional[Mask] = None,
+    accum: Optional[BinaryOp] = None,
+    out: Optional[Vector] = None,
+) -> Vector:
+    """Apply a binary op with one operand bound to a scalar
+    (``u op scalar`` when ``bind_right`` else ``scalar op u``)."""
+    raw_values = np.zeros(u.size, dtype=np.float64)
+    stored = u.values[u.present]
+    if bind_right:
+        raw_values[u.present] = op(stored, np.full_like(stored, scalar))
+    else:
+        raw_values[u.present] = op(np.full_like(stored, scalar), stored)
+    return _finalize(raw_values, u.present.copy(), mask, accum, out)
+
+
+def reduce(u: Vector, monoid: Monoid) -> float:
+    """Fold all stored entries with a monoid (the ``foldl`` of Fig 1)."""
+    return float(monoid.reduce(u.values[u.present]))
+
+
+def select(u: Vector, predicate: Callable[[np.ndarray], np.ndarray]) -> Vector:
+    """Keep only stored entries whose value satisfies the vectorized
+    ``predicate`` (GraphBLAS ``select``)."""
+    keep = u.present.copy()
+    keep[u.present] = np.asarray(predicate(u.values[u.present]), dtype=bool)
+    result = Vector.empty(u.size)
+    result.values[keep] = u.values[keep]
+    result.present[keep] = True
+    return result
+
+
+def vector_dot(u: Vector, v: Vector, semiring: Semiring = MUL_ADD) -> float:
+    """Dot product over a semiring (the ``dot`` of Fig 1): reduce the
+    products over the intersection of stored entries."""
+    if u.size != v.size:
+        raise ShapeError(f"vector sizes differ: {u.size} vs {v.size}")
+    both = u.present & v.present
+    return float(semiring.add.reduce(semiring.mul(u.values[both], v.values[both])))
+
+
+def assign_scalar(
+    u: Vector, value: float, mask: Optional[Mask] = None
+) -> Vector:
+    """Return a copy of ``u`` with ``value`` stored at every maskable
+    position (the ``set`` of Fig 1)."""
+    writable = (
+        mask.allowed(u.size) if mask is not None else np.ones(u.size, dtype=bool)
+    )
+    result = u.dup()
+    result.values[writable] = value
+    result.present[writable] = True
+    return result

@@ -1,0 +1,47 @@
+"""Sparse matrix workload suite.
+
+The paper evaluates on nine SuiteSparse matrices (Table I). This
+package provides structural generators (R-MAT, grids/roads, banded
+meshes, circuits, overlapping cliques, bipartite blocks) and
+:func:`load_suite_matrix`, which builds scaled-down synthetic analogs
+of the paper's nine matrices with the structure class preserved — see
+DESIGN.md, "Substitutions".
+"""
+
+from repro.matrices.generators import (
+    rmat,
+    erdos_renyi,
+    banded_mesh,
+    grid_2d,
+    road_network,
+    circuit_like,
+    clique_overlap,
+    bipartite_block,
+    power_law,
+    watts_strogatz,
+    barabasi_albert,
+)
+from repro.matrices.suite import (
+    SUITE,
+    SuiteMatrixSpec,
+    load_suite_matrix,
+    suite_names,
+)
+
+__all__ = [
+    "rmat",
+    "erdos_renyi",
+    "banded_mesh",
+    "grid_2d",
+    "road_network",
+    "circuit_like",
+    "clique_overlap",
+    "bipartite_block",
+    "power_law",
+    "watts_strogatz",
+    "barabasi_albert",
+    "SUITE",
+    "SuiteMatrixSpec",
+    "load_suite_matrix",
+    "suite_names",
+]

@@ -1,0 +1,32 @@
+"""The OEI (Output-stationary / E-wise / Input-stationary) dataflow.
+
+- :mod:`repro.oei.schedule` — the pipeline-step timing skew of Fig 8
+  (e-wise lags OS by one step, IS by two),
+- :mod:`repro.oei.executor` — a functional executor that runs iteration
+  pairs under the OEI schedule and must agree exactly with sequential
+  reference execution (the legality proof of Section III, executable),
+- :mod:`repro.oei.reuse` — the cross-iteration residency analysis
+  behind Table I.
+"""
+
+from repro.oei.schedule import OEISchedule, SubTensor
+from repro.oei.executor import OEIExecution, run_oei_pairs, run_reference
+from repro.oei.reuse import ReuseStats, reuse_footprint
+from repro.oei.validate import (
+    ScheduleTimeline,
+    assert_oei_matches_reference,
+    validate_schedule,
+)
+
+__all__ = [
+    "OEISchedule",
+    "SubTensor",
+    "OEIExecution",
+    "run_oei_pairs",
+    "run_reference",
+    "ReuseStats",
+    "reuse_footprint",
+    "ScheduleTimeline",
+    "validate_schedule",
+    "assert_oei_matches_reference",
+]

@@ -1,0 +1,93 @@
+"""OEI pipeline-step schedule (Fig 8 / Fig 13).
+
+Execution advances in *steps*; each step moves one sub-tensor of ``T``
+columns through one pipeline stage. Within a fused iteration pair,
+
+- the OS stage processes sub-tensor ``s`` at step ``s``,
+- the E-Wise stage processes sub-tensor ``s`` at step ``s + 1``
+  (it needs the OS output of step ``s``),
+- the IS stage processes sub-tensor ``s`` at step ``s + 2``
+  (it needs the e-wise output of step ``s + 1``).
+
+So a pair over ``S`` sub-tensors drains after ``S + 2`` steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.util.validation import check_positive
+
+#: Stage skews relative to the OS stage, in steps (Fig 8).
+EWISE_LAG = 1
+IS_LAG = 2
+
+
+@dataclass(frozen=True)
+class SubTensor:
+    """A contiguous column range ``[start, stop)`` of the input matrix
+    (equivalently an element range of the vectors)."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def width(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class OEISchedule:
+    """Sub-tensor decomposition of an ``n``-column matrix."""
+
+    n: int
+    subtensor_cols: int
+
+    def __post_init__(self) -> None:
+        check_positive("subtensor_cols", self.subtensor_cols)
+        if self.n < 0:
+            raise ValueError(f"n must be non-negative, got {self.n}")
+
+    @property
+    def n_subtensors(self) -> int:
+        return -(-self.n // self.subtensor_cols) if self.n else 0
+
+    @property
+    def n_steps(self) -> int:
+        """Steps to drain one iteration pair (Fig 13)."""
+        return self.n_subtensors + IS_LAG if self.n_subtensors else 0
+
+    def subtensor(self, index: int) -> SubTensor:
+        if not 0 <= index < self.n_subtensors:
+            raise IndexError(
+                f"sub-tensor {index} out of range for {self.n_subtensors}"
+            )
+        start = index * self.subtensor_cols
+        return SubTensor(index, start, min(self.n, start + self.subtensor_cols))
+
+    def subtensors(self) -> Iterator[SubTensor]:
+        for i in range(self.n_subtensors):
+            yield self.subtensor(i)
+
+    # ------------------------------------------------------------------
+    # Which sub-tensor each stage touches at a given step
+    # ------------------------------------------------------------------
+    def os_at(self, step: int) -> Optional[SubTensor]:
+        """Sub-tensor in the OS stage at ``step``, if any."""
+        return self._stage_at(step, 0)
+
+    def ewise_at(self, step: int) -> Optional[SubTensor]:
+        """Sub-tensor in the E-Wise stage at ``step``, if any."""
+        return self._stage_at(step, EWISE_LAG)
+
+    def is_at(self, step: int) -> Optional[SubTensor]:
+        """Sub-tensor in the IS stage at ``step``, if any."""
+        return self._stage_at(step, IS_LAG)
+
+    def _stage_at(self, step: int, lag: int) -> Optional[SubTensor]:
+        index = step - lag
+        if 0 <= index < self.n_subtensors:
+            return self.subtensor(index)
+        return None

@@ -1,0 +1,136 @@
+"""OEI schedule legality validation.
+
+Two levels of checking:
+
+- :func:`validate_schedule` — structural: replay the pipeline-step
+  schedule and verify every stage only ever consumes data produced by
+  an earlier (or same-step upstream) stage, and that each sub-tensor
+  passes through each stage exactly once. This is the machine-checkable
+  form of the Fig 8 skew argument.
+- :func:`assert_oei_matches_reference` — numeric: run the functional
+  OEI executor and the sequential reference on real data and require
+  exact iteration-by-iteration agreement. Use this when adding a new
+  workload or a new e-wise program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.dataflow.program import OEIProgram
+from repro.errors import ScheduleError
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.oei.executor import OEIExecution, run_oei_pairs, run_reference
+from repro.oei.schedule import EWISE_LAG, IS_LAG, OEISchedule
+
+
+@dataclass
+class ScheduleTimeline:
+    """Replay record of one pair's pipeline schedule."""
+
+    n_steps: int
+    os_done: List[int] = field(default_factory=list)     #: sub-tensor per step
+    ewise_done: List[int] = field(default_factory=list)
+    is_done: List[int] = field(default_factory=list)
+
+
+def validate_schedule(n: int, subtensor_cols: int) -> ScheduleTimeline:
+    """Structurally validate the OEI schedule for an ``n``-column
+    matrix; raises :class:`ScheduleError` on any dependency violation.
+
+    Checks, per step ``s``:
+
+    1. the E-Wise stage only touches a sub-tensor whose OS output
+       already exists (``os`` finished it at least ``EWISE_LAG`` steps
+       earlier — one step, per Fig 8),
+    2. the IS stage only touches a sub-tensor whose e-wise output
+       already exists,
+    3. at drain, every stage has processed every sub-tensor exactly
+       once, in order.
+    """
+    schedule = OEISchedule(n, subtensor_cols)
+    timeline = ScheduleTimeline(schedule.n_steps)
+    os_finished = -1
+    ewise_finished = -1
+    for step in range(schedule.n_steps):
+        os_st = schedule.os_at(step)
+        ew_st = schedule.ewise_at(step)
+        is_st = schedule.is_at(step)
+        if ew_st is not None:
+            if ew_st.index > os_finished:
+                raise ScheduleError(
+                    f"step {step}: e-wise consumes sub-tensor {ew_st.index} "
+                    f"but OS has only finished {os_finished}"
+                )
+            timeline.ewise_done.append(ew_st.index)
+        if is_st is not None:
+            if is_st.index > ewise_finished:
+                raise ScheduleError(
+                    f"step {step}: IS consumes sub-tensor {is_st.index} "
+                    f"but e-wise has only finished {ewise_finished}"
+                )
+            timeline.is_done.append(is_st.index)
+        # Stage completions land at end-of-step: OS output of step s is
+        # consumable from step s+1 (EWISE_LAG), e-wise from s+1 more.
+        if ew_st is not None:
+            ewise_finished = ew_st.index
+        if os_st is not None:
+            os_finished = os_st.index
+            timeline.os_done.append(os_st.index)
+
+    expected = list(range(schedule.n_subtensors))
+    for stage_name, done in (
+        ("OS", timeline.os_done),
+        ("e-wise", timeline.ewise_done),
+        ("IS", timeline.is_done),
+    ):
+        if done != expected:
+            raise ScheduleError(
+                f"{stage_name} stage processed {done}, expected {expected}"
+            )
+    return timeline
+
+
+def assert_oei_matches_reference(
+    csc: CSCMatrix,
+    csr: CSRMatrix,
+    program: OEIProgram,
+    x0: np.ndarray,
+    n_iterations: int,
+    aux_provider: Optional[Callable[[int, np.ndarray], Mapping[str, np.ndarray]]] = None,
+    scalar_update: Optional[Callable[[int, np.ndarray], Mapping[str, float]]] = None,
+    subtensor_cols: int = 64,
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+) -> OEIExecution:
+    """Run the OEI pair schedule and require exact agreement with the
+    sequential reference; returns the OEI trace on success and raises
+    :class:`ScheduleError` naming the first diverging iteration."""
+    kwargs = {}
+    if aux_provider is not None:
+        kwargs["aux_provider"] = aux_provider
+    if scalar_update is not None:
+        kwargs["scalar_update"] = scalar_update
+    ref = run_reference(csc, program, x0, n_iterations, **kwargs)
+    oei = run_oei_pairs(
+        csc, csr, program, x0, n_iterations, subtensor_cols=subtensor_cols, **kwargs
+    )
+    for k in range(n_iterations):
+        if not np.allclose(
+            oei.y_history[k], ref.y_history[k], rtol=rtol, atol=atol, equal_nan=True
+        ):
+            raise ScheduleError(
+                f"OEI vxm output diverges from reference at iteration {k}"
+            )
+        if not np.allclose(
+            oei.x_history[k + 1], ref.x_history[k + 1], rtol=rtol, atol=atol,
+            equal_nan=True,
+        ):
+            raise ScheduleError(
+                f"OEI e-wise output diverges from reference at iteration {k}"
+            )
+    return oei

@@ -1,0 +1,22 @@
+"""Offline sparse tensor preprocessing (Section IV-E).
+
+Two row-reordering algorithms — :func:`graph_order` (the GraphOrder
+locality heuristic of Wei et al. the paper adopts from SpMSpM work) and
+:func:`vanilla_reorder` (the paper's "straightforward" heuristic that
+pushes the matrix toward upper-triangular / banded form) — plus the
+:func:`preprocess` pipeline that applies a reorder and builds the
+(blocked) dual storage.
+"""
+
+from repro.preprocess.graph_order import graph_order
+from repro.preprocess.vanilla_reorder import vanilla_reorder, bandwidth
+from repro.preprocess.pipeline import PreprocessResult, preprocess, REORDER_ALGORITHMS
+
+__all__ = [
+    "graph_order",
+    "vanilla_reorder",
+    "bandwidth",
+    "preprocess",
+    "PreprocessResult",
+    "REORDER_ALGORITHMS",
+]

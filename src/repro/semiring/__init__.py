@@ -1,0 +1,106 @@
+"""Configurable semiring algebra.
+
+STA applications written against GraphBLAS-style frontends replace the
+(+, x) pair of classic linear algebra with application-specific
+operators (Table III of the paper): ``Mul-Add`` for PageRank, ``And-Or``
+for BFS/KNN, ``Min-Add`` for SSSP, ``Aril-Add`` for k-means++
+initialization. Sparsepipe's OS and IS cores are configured with these
+opcodes before execution (Section IV-C); this package is the software
+realization those cores and the functional executor share.
+"""
+
+from repro.semiring.binaryops import (
+    BinaryOp,
+    PLUS,
+    MINUS,
+    TIMES,
+    DIV,
+    MIN,
+    MAX,
+    LOR,
+    LAND,
+    FIRST,
+    SECOND,
+    ARIL,
+    ABS_DIFF,
+    BINARY_OPS,
+)
+from repro.semiring.monoids import (
+    Monoid,
+    PLUS_MONOID,
+    TIMES_MONOID,
+    MIN_MONOID,
+    MAX_MONOID,
+    LOR_MONOID,
+    LAND_MONOID,
+    MONOIDS,
+)
+from repro.semiring.unaryops import (
+    UnaryOp,
+    IDENTITY,
+    ABS,
+    AINV,
+    MINV,
+    ONE,
+    RELU,
+    SQRT,
+    ISNONZERO,
+    UNARY_OPS,
+)
+from repro.semiring.semirings import (
+    Semiring,
+    MUL_ADD,
+    AND_OR,
+    MIN_ADD,
+    ARIL_ADD,
+    MAX_TIMES,
+    MIN_TIMES,
+    MAX_MIN,
+    SEMIRINGS,
+    semiring_by_name,
+)
+
+__all__ = [
+    "BinaryOp",
+    "Monoid",
+    "UnaryOp",
+    "Semiring",
+    "PLUS",
+    "MINUS",
+    "TIMES",
+    "DIV",
+    "MIN",
+    "MAX",
+    "LOR",
+    "LAND",
+    "FIRST",
+    "SECOND",
+    "ARIL",
+    "ABS_DIFF",
+    "PLUS_MONOID",
+    "TIMES_MONOID",
+    "MIN_MONOID",
+    "MAX_MONOID",
+    "LOR_MONOID",
+    "LAND_MONOID",
+    "IDENTITY",
+    "ABS",
+    "AINV",
+    "MINV",
+    "ONE",
+    "RELU",
+    "SQRT",
+    "ISNONZERO",
+    "MUL_ADD",
+    "AND_OR",
+    "MIN_ADD",
+    "ARIL_ADD",
+    "MAX_TIMES",
+    "MIN_TIMES",
+    "MAX_MIN",
+    "BINARY_OPS",
+    "MONOIDS",
+    "UNARY_OPS",
+    "SEMIRINGS",
+    "semiring_by_name",
+]

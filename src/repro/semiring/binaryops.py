@@ -1,0 +1,63 @@
+"""Binary operators over numpy arrays.
+
+Each operator is vectorized; the ``ufunc`` attribute, when present,
+exposes the underlying numpy ufunc so segment reductions can use
+``ufunc.at`` / ``ufunc.reduceat`` without an interpretation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A named, vectorized binary operator ``z = fn(x, y)``."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ufunc: Optional[np.ufunc] = field(default=None, compare=False)
+    commutative: bool = True
+
+    def __call__(self, x, y):
+        return self.fn(np.asarray(x), np.asarray(y))
+
+    def __repr__(self) -> str:
+        return f"BinaryOp({self.name})"
+
+
+def _aril(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """The paper's ``Aril`` operator: assigns the right-hand input where
+    the left-hand input evaluates true, and 0 elsewhere (Table III,
+    footnote). Used as the multiply of the k-means++ semiring."""
+    return np.where(x != 0, y, np.zeros_like(y))
+
+
+PLUS = BinaryOp("plus", lambda x, y: x + y, ufunc=np.add)
+MINUS = BinaryOp("minus", lambda x, y: x - y, ufunc=np.subtract, commutative=False)
+TIMES = BinaryOp("times", lambda x, y: x * y, ufunc=np.multiply)
+DIV = BinaryOp("div", lambda x, y: x / y, ufunc=np.divide, commutative=False)
+MIN = BinaryOp("min", np.minimum, ufunc=np.minimum)
+MAX = BinaryOp("max", np.maximum, ufunc=np.maximum)
+LOR = BinaryOp(
+    "lor", lambda x, y: ((x != 0) | (y != 0)).astype(np.result_type(x, y)),
+    ufunc=np.logical_or,
+)
+LAND = BinaryOp(
+    "land", lambda x, y: ((x != 0) & (y != 0)).astype(np.result_type(x, y)),
+    ufunc=np.logical_and,
+)
+FIRST = BinaryOp("first", lambda x, y: x + np.zeros_like(y), commutative=False)
+SECOND = BinaryOp("second", lambda x, y: np.zeros_like(x) + y, commutative=False)
+ARIL = BinaryOp("aril", _aril, commutative=False)
+ABS_DIFF = BinaryOp("abs_diff", lambda x, y: np.abs(x - y))
+
+#: Registry keyed by operator name; the dataflow compiler resolves
+#: e-wise opcodes through this table.
+BINARY_OPS: Dict[str, BinaryOp] = {
+    op.name: op
+    for op in (PLUS, MINUS, TIMES, DIV, MIN, MAX, LOR, LAND, FIRST, SECOND, ARIL, ABS_DIFF)
+}

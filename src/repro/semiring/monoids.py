@@ -1,0 +1,110 @@
+"""Commutative monoids — the reduction half of a semiring.
+
+A monoid pairs an associative, commutative :class:`BinaryOp` with its
+identity. The identity doubles as the implicit value of unstored sparse
+entries under that monoid, which is what lets the OS core reduce
+variable-length columns and the IS core merge scattered partial sums in
+any order (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.semiring.binaryops import BinaryOp, LAND, LOR, MAX, MIN, PLUS, TIMES
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """An associative, commutative reduction with identity."""
+
+    op: BinaryOp
+    identity: float
+
+    @property
+    def name(self) -> str:
+        return self.op.name
+
+    def reduce(self, values: np.ndarray) -> float:
+        """Reduce a 1-D array; the empty reduction is the identity."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return self.identity
+        if self.op.ufunc is not None:
+            return self.op.ufunc.reduce(values)
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.op(acc, v)
+        return acc
+
+    def segment_reduce(
+        self, values: np.ndarray, segment_ids: np.ndarray, n_segments: int
+    ) -> np.ndarray:
+        """Reduce ``values`` into ``n_segments`` buckets given per-value
+        segment ids; empty segments get the identity.
+
+        This is the software analogue of the forwarding adder tree: the
+        hardware reduces a whole column regardless of how many non-zeros
+        it holds, and segments here are columns (OS) or rows (IS).
+        """
+        values = np.asarray(values)
+        out = np.full(n_segments, self.identity, dtype=np.result_type(values, float))
+        if values.size == 0:
+            return out
+        if self.op.ufunc is np.logical_or:
+            # Over {0, 1} values, logical-or reduces as max; normalize and
+            # use the fast ufunc.at path (BFS/KNN frontier expansion).
+            np.maximum.at(out, segment_ids, (values != 0).astype(out.dtype))
+            return out
+        if self.op.ufunc is not None and self.op.ufunc is not np.logical_and:
+            with np.errstate(invalid="ignore"):
+                # Infinities from sparse identities (e.g. min-add's
+                # empty columns) may meet NaN products; the reduction
+                # semantics are still well-defined element-wise.
+                self.op.ufunc.at(out, segment_ids, values)
+            return out
+        # Boolean (or exotic) monoids: reduce per segment after sorting.
+        order = np.argsort(segment_ids, kind="stable")
+        seg_sorted = segment_ids[order]
+        val_sorted = values[order]
+        boundaries = np.concatenate(([0], np.flatnonzero(np.diff(seg_sorted)) + 1))
+        for start, stop in zip(boundaries, np.concatenate((boundaries[1:], [seg_sorted.size]))):
+            out[seg_sorted[start]] = self.reduce(val_sorted[start:stop])
+        return out
+
+    def scatter(self, out: np.ndarray, indices: np.ndarray, values: np.ndarray) -> None:
+        """Merge ``values`` into ``out`` at ``indices`` in place — the
+        IS-stage scatter-accumulate. ``out`` positions never touched must
+        already hold the identity for the result to be a valid partial
+        reduction."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        if self.op.ufunc is np.logical_or:
+            np.maximum.at(out, indices, (values != 0).astype(out.dtype))
+            return
+        if self.op.ufunc is not None and self.op.ufunc is not np.logical_and:
+            with np.errstate(invalid="ignore"):
+                self.op.ufunc.at(out, indices, values)
+            return
+        for i, v in zip(indices, values):
+            out[i] = self.op(out[i], v)
+
+    def __repr__(self) -> str:
+        return f"Monoid({self.name}, identity={self.identity})"
+
+
+PLUS_MONOID = Monoid(PLUS, 0.0)
+TIMES_MONOID = Monoid(TIMES, 1.0)
+MIN_MONOID = Monoid(MIN, float(np.inf))
+MAX_MONOID = Monoid(MAX, float(-np.inf))
+LOR_MONOID = Monoid(LOR, 0.0)
+LAND_MONOID = Monoid(LAND, 1.0)
+
+MONOIDS: Dict[str, Monoid] = {
+    m.name: m
+    for m in (PLUS_MONOID, TIMES_MONOID, MIN_MONOID, MAX_MONOID, LOR_MONOID, LAND_MONOID)
+}

@@ -1,0 +1,85 @@
+"""Semirings: a multiply :class:`BinaryOp` plus a reduce :class:`Monoid`.
+
+Naming follows the paper's Table III, where a semiring is written
+``<multiply/shape>-<reduce>`` or by its classical name:
+
+- ``mul_add``  — (x, +): PageRank, k-core, label propagation, GCN,
+  GMRES, CG, BiCGStab,
+- ``and_or``   — (and, or): BFS frontier expansion, KNN,
+- ``min_add``  — tropical (+, min): single-source shortest path,
+- ``aril_add`` — (aril, +): k-means++ initialization, where ``aril``
+  assigns the right-hand input when the left-hand input is true.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.semiring.binaryops import ARIL, BinaryOp, LAND, MIN, PLUS, TIMES
+from repro.semiring.monoids import (
+    LOR_MONOID,
+    MAX_MONOID,
+    MIN_MONOID,
+    Monoid,
+    PLUS_MONOID,
+)
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """``add.reduce(mul(x_i, a_ij))`` — the contraction of every ``vxm``."""
+
+    name: str
+    add: Monoid
+    mul: BinaryOp
+
+    @property
+    def zero(self) -> float:
+        """The additive identity, i.e. the implicit sparse value."""
+        return self.add.identity
+
+    def vxm_dense(self, x: np.ndarray, dense: np.ndarray) -> np.ndarray:
+        """Reference ``x^T A`` against a dense matrix — the executable
+        definition that every optimized kernel is tested against."""
+        x = np.asarray(x, dtype=np.float64)
+        dense = np.asarray(dense, dtype=np.float64)
+        if x.shape != (dense.shape[0],):
+            raise ValueError(
+                f"vector length {x.shape} does not match nrows {dense.shape[0]}"
+            )
+        out = np.empty(dense.shape[1], dtype=np.float64)
+        for j in range(dense.shape[1]):
+            out[j] = self.add.reduce(self.mul(x, dense[:, j]))
+        return out
+
+    def __repr__(self) -> str:
+        return f"Semiring({self.name})"
+
+
+MUL_ADD = Semiring("mul_add", PLUS_MONOID, TIMES)
+AND_OR = Semiring("and_or", LOR_MONOID, LAND)
+MIN_ADD = Semiring("min_add", MIN_MONOID, PLUS)
+ARIL_ADD = Semiring("aril_add", PLUS_MONOID, ARIL)
+MAX_TIMES = Semiring("max_times", MAX_MONOID, TIMES)
+MIN_TIMES = Semiring("min_times", MIN_MONOID, TIMES)
+MAX_MIN = Semiring("max_min", MAX_MONOID, MIN)
+
+SEMIRINGS: Dict[str, Semiring] = {
+    s.name: s
+    for s in (MUL_ADD, AND_OR, MIN_ADD, ARIL_ADD, MAX_TIMES, MIN_TIMES, MAX_MIN)
+}
+
+
+def semiring_by_name(name: str) -> Semiring:
+    """Look up a registered semiring; raises :class:`ConfigError` with
+    the available names on a miss."""
+    try:
+        return SEMIRINGS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown semiring {name!r}; available: {sorted(SEMIRINGS)}"
+        ) from None

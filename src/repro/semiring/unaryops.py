@@ -1,0 +1,38 @@
+"""Unary operators, used by ``apply`` and in fused e-wise instruction
+streams (e.g. the ReLU in the GCN pipeline of Fig 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """A named, vectorized unary operator ``z = fn(x)``."""
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+
+    def __call__(self, x):
+        return self.fn(np.asarray(x))
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.name})"
+
+
+IDENTITY = UnaryOp("identity", lambda x: x + 0)
+ABS = UnaryOp("abs", np.abs)
+AINV = UnaryOp("ainv", lambda x: -x)
+MINV = UnaryOp("minv", lambda x: 1.0 / x)
+ONE = UnaryOp("one", np.ones_like)
+RELU = UnaryOp("relu", lambda x: np.maximum(x, 0))
+SQRT = UnaryOp("sqrt", np.sqrt)
+ISNONZERO = UnaryOp("isnonzero", lambda x: (x != 0).astype(np.float64))
+
+UNARY_OPS: Dict[str, UnaryOp] = {
+    op.name: op
+    for op in (IDENTITY, ABS, AINV, MINV, ONE, RELU, SQRT, ISNONZERO)
+}

@@ -1,0 +1,22 @@
+"""Small shared utilities: argument validation, deterministic RNG
+handling, and numeric helpers used across the library."""
+
+from repro.util.validation import (
+    check_index,
+    check_positive,
+    check_nonnegative,
+    check_probability,
+    check_same_length,
+)
+from repro.util.numeric import geomean, human_bytes, safe_div
+
+__all__ = [
+    "check_index",
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_same_length",
+    "geomean",
+    "human_bytes",
+    "safe_div",
+]

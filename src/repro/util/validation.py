@@ -1,0 +1,44 @@
+"""Argument-validation helpers.
+
+These raise early with messages that name the offending argument, so a
+bad call fails at the library boundary instead of deep inside numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Sized
+
+from repro.errors import ShapeError
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_index(name: str, value: int, size: int) -> None:
+    """Raise ``IndexError`` unless ``0 <= value < size``."""
+    if not 0 <= value < size:
+        raise IndexError(f"{name}={value} out of range for size {size}")
+
+
+def check_same_length(a_name: str, a: Sized, b_name: str, b: Sized) -> None:
+    """Raise :class:`ShapeError` unless the two sized objects match."""
+    if len(a) != len(b):
+        raise ShapeError(
+            f"{a_name} (length {len(a)}) and {b_name} (length {len(b)}) "
+            "must have the same length"
+        )

@@ -1,0 +1,23 @@
+"""The benchmark STA applications of Table III.
+
+Each workload provides three coordinated views of the same algorithm:
+
+1. a **functional implementation** on GraphBLAS-mini (used for
+   correctness tests and to measure iteration counts / per-iteration
+   activity),
+2. a **dataflow graph** of its loop body (compiled by
+   :mod:`repro.dataflow` into an OEI program — this determines whether
+   the workload can use cross-iteration reuse),
+3. a **workload profile** for the timing models.
+"""
+
+from repro.workloads.base import FunctionalResult, Workload
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+__all__ = [
+    "Workload",
+    "FunctionalResult",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,79 @@
+"""Breadth-first search over the And-Or semiring (Table III).
+
+Each level expands the frontier with ``vxm`` under (and, or) and masks
+out already-visited vertices; the masking e-wise keeps sub-tensor
+dependency, so consecutive level expansions fuse under OEI. Activity
+per iteration is the frontier occupancy, which the profile feeds to
+the timing models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.graph import DataflowGraph
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.mask import Mask
+from repro.graphblas.ops import vxm
+from repro.graphblas.vector import Vector
+from repro.semiring.semirings import AND_OR
+from repro.workloads.base import FunctionalResult, Workload
+
+
+class BFS(Workload):
+    name = "bfs"
+    semiring = "and_or"
+    domain = "Graph Analytics"
+
+    def __init__(self, source: int = None) -> None:
+        #: ``None`` selects the highest-out-degree vertex at run time
+        #: (GAP-benchmark style), avoiding degenerate one-level runs.
+        self.source = source
+
+    def build_graph(self) -> DataflowGraph:
+        g = DataflowGraph("bfs")
+        a = g.matrix("A")
+        frontier = g.vector("frontier")
+        reached = g.vector("reached")
+        visited = g.vector("visited")
+        fresh = g.vector("fresh")
+        g.vxm("expand", frontier, a, reached, self.semiring)
+        # Fused path: keep only unvisited vertices -> next frontier.
+        not_visited = g.vector("not_visited")
+        g.ewise("invert_visited", "abs_diff", [visited], not_visited, immediate=1.0)
+        g.ewise("mask_out", "aril", [not_visited, reached], fresh)
+        # Side group: fold the visited update.
+        new_visited = g.vector("new_visited")
+        g.ewise("mark", "lor", [visited, fresh], new_visited)
+        g.carry(fresh, frontier)
+        g.carry(new_visited, visited)
+        return g
+
+    def run_functional(self, matrix: Matrix, **params) -> FunctionalResult:
+        n = matrix.nrows
+        source = params.get("source", self.source)
+        if source is None:
+            source = int(np.argmax(matrix.row_degrees()))
+        if not 0 <= source < n:
+            raise ValueError(f"source {source} out of range for {n} vertices")
+        level = np.full(n, -1, dtype=np.int64)
+        level[source] = 0
+        frontier = Vector.from_entries(n, [source], [1.0])
+        visited = Vector.from_entries(n, [source], [1.0])
+        activity = []
+        depth = 0
+        for depth in range(1, self.max_iterations + 1):
+            activity.append(frontier.nvals / n)
+            reached = vxm(frontier, matrix, AND_OR, mask=Mask(visited, complement=True))
+            idx, _ = reached.entries()
+            if idx.size == 0:
+                break
+            level[idx] = depth
+            visited.values[idx] = 1.0
+            visited.present[idx] = True
+            frontier = reached
+        return FunctionalResult(
+            output=level.astype(np.float64),
+            n_iterations=max(1, len(activity)),
+            activity=tuple(activity),
+        )

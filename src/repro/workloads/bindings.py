@@ -1,0 +1,133 @@
+"""OEI execution bindings for the workloads.
+
+An :class:`OEIBindings` packages everything the functional OEI executor
+needs to run a workload's *compiled program* on a real matrix: the dual
+CSC/CSR images, the initial vector, and the per-iteration auxiliary
+vector / runtime scalar providers. ``Workload.validate_oei`` uses a
+binding to prove, numerically, that executing the workload under the
+OEI pair schedule is indistinguishable from sequential execution — the
+per-workload instantiation of the Section III legality argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.graphblas.matrix import Matrix
+
+
+@dataclass(frozen=True)
+class OEIBindings:
+    """Inputs for :func:`repro.oei.executor.run_oei_pairs`.
+
+    ``aux_provider`` / ``scalar_update`` must be pure functions of
+    ``(iteration, x_iteration)`` so the reference and OEI runs, which
+    call them in the same order, observe identical values.
+    """
+
+    csc: CSCMatrix
+    csr: CSRMatrix
+    x0: np.ndarray
+    aux_provider: Callable[[int, np.ndarray], Mapping[str, np.ndarray]]
+    scalar_update: Callable[[int, np.ndarray], Mapping[str, float]]
+
+
+def _no_aux(iteration: int, x: np.ndarray) -> Mapping[str, np.ndarray]:
+    return {}
+
+
+def _no_scalars(iteration: int, x: np.ndarray) -> Mapping[str, float]:
+    return {}
+
+
+def _dual(matrix: Matrix):
+    return CSCMatrix.from_coo(matrix.coo), CSRMatrix.from_coo(matrix.coo)
+
+
+def pagerank_bindings(workload, matrix: Matrix) -> OEIBindings:
+    """PageRank: the teleport scalar derives from the *input* vector of
+    each iteration (dangling mass), keeping the e-wise chain legal."""
+    from repro.workloads.pagerank import normalize_columns_out
+
+    n = matrix.nrows
+    link = normalize_columns_out(matrix)
+    csc, csr = _dual(link)
+    dangling = matrix.row_degrees() == 0
+    damping = workload.damping
+
+    def scalar_update(iteration: int, x: np.ndarray) -> Mapping[str, float]:
+        return {
+            "teleport": (1.0 - damping) / n + damping * float(x[dangling].sum()) / n
+        }
+
+    return OEIBindings(csc, csr, np.full(n, 1.0 / n), _no_aux, scalar_update)
+
+
+def sssp_bindings(workload, matrix: Matrix) -> OEIBindings:
+    """SSSP: the carried distance vector is its own auxiliary stream."""
+    csc, csr = _dual(matrix)
+    n = matrix.nrows
+    source = workload.source
+    if source is None:
+        source = int(np.argmax(matrix.row_degrees()))
+    x0 = np.full(n, np.inf)
+    x0[source] = 0.0
+    return OEIBindings(
+        csc, csr, x0, lambda k, x: {"dist": x}, _no_scalars
+    )
+
+
+def kcore_bindings(workload, matrix: Matrix) -> OEIBindings:
+    """k-core peel on the 0/1 pattern; the alive flags are the carried
+    vector itself."""
+    from repro.formats.coo import COOMatrix
+
+    coo = matrix.coo
+    pattern = Matrix(COOMatrix(coo.shape, coo.rows, coo.cols, np.ones(coo.nnz)))
+    csc, csr = _dual(pattern)
+    return OEIBindings(
+        csc, csr, np.ones(matrix.nrows),
+        lambda k, x: {"alive": x}, _no_scalars,
+    )
+
+
+def label_bindings(workload, matrix: Matrix) -> OEIBindings:
+    """Label smoothing: the inverse weighted in-degree is a constant
+    auxiliary vector."""
+    csc, csr = _dual(matrix)
+    n = matrix.nrows
+    coo = matrix.coo
+    weighted_indeg = np.zeros(n)
+    np.add.at(weighted_indeg, coo.cols, coo.vals)
+    inv_degree = np.where(
+        weighted_indeg > 0, 1.0 / np.maximum(weighted_indeg, 1e-30), 0.0
+    )
+    labels0 = np.random.default_rng(0).random(n)
+    return OEIBindings(
+        csc, csr, labels0, lambda k, x: {"inv_degree": inv_degree}, _no_scalars
+    )
+
+
+def knn_bindings(workload, matrix: Matrix) -> OEIBindings:
+    """KNN two-hop expansion: a pure no-op path, no aux, no scalars."""
+    csc, csr = _dual(matrix)
+    n = matrix.nrows
+    rng = np.random.default_rng(0)
+    x0 = np.zeros(n)
+    x0[rng.choice(n, size=min(workload.seeds, n), replace=False)] = 1.0
+    return OEIBindings(csc, csr, x0, _no_aux, _no_scalars)
+
+
+#: Workload name -> binding factory (workload, Matrix) -> OEIBindings.
+BINDING_FACTORIES = {
+    "pr": pagerank_bindings,
+    "sssp": sssp_bindings,
+    "kcore": kcore_bindings,
+    "label": label_bindings,
+    "knn": knn_bindings,
+}

@@ -1,0 +1,95 @@
+"""k-means++ initialization over the Aril-Add semiring (Table III).
+
+Each round picks a new center and folds its graph-distance row into the
+running minimum-distance vector: ``y = indicator (aril.+) D`` selects
+the chosen center's distance row (``aril`` assigns the right-hand input
+where the left is true), and the fused ``min`` merges it. The next
+center is sampled proportionally to the squared distances — the side
+e-wise/reduce group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.graph import DataflowGraph
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.ops import vxm
+from repro.graphblas.vector import Vector
+from repro.semiring.semirings import ARIL_ADD
+from repro.workloads.base import FunctionalResult, Workload
+
+
+class KMeansPlusPlus(Workload):
+    name = "kpp"
+    semiring = "aril_add"
+    domain = "Clustering"
+
+    def __init__(self, n_centers: int = 8) -> None:
+        if n_centers < 1:
+            raise ValueError(f"n_centers must be >= 1, got {n_centers}")
+        self.n_centers = n_centers
+
+    def build_graph(self) -> DataflowGraph:
+        g = DataflowGraph("kpp")
+        d = g.matrix("D")
+        indicator = g.vector("indicator")
+        row = g.vector("selected_row")
+        dist = g.vector("dist")
+        new_dist = g.vector("new_dist")
+        g.vxm("select_row", indicator, d, row, self.semiring)
+        g.ewise("fold_min", "min", [row, dist], new_dist)
+        # Side group: squared distances for the sampling weights.
+        sq = g.vector("sq")
+        g.ewise("square", "times", [new_dist, new_dist], sq)
+        total = g.scalar("total")
+        g.reduce("weight_sum", sq, total, "plus")
+        # The next indicator is a one-hot at the sampled index: the
+        # sub-tensor dispatcher gates each element against the sampled
+        # index (``chosen`` is drawn from the *previous* round's
+        # weights, so it is available before this round's e-wise runs
+        # and the chain stays sub-tensor dependent).
+        new_indicator = g.vector("new_indicator")
+        g.ewise("select_center", "aril", [new_dist], new_indicator,
+                scalar_operand="chosen")
+        g.carry(new_dist, dist)
+        g.carry(new_indicator, indicator)
+        return g
+
+    def run_functional(self, matrix: Matrix, **params) -> FunctionalResult:
+        n = matrix.nrows
+        n_centers = params.get("n_centers", self.n_centers)
+        rng = np.random.default_rng(params.get("seed", 0))
+        # Treat missing edges as far-away (large distance).
+        far = 1e9
+        dist = np.full(n, far)
+        centers = [int(rng.integers(0, n))]
+        dist_update = self._center_row(matrix, centers[0], far)
+        dist = np.minimum(dist, dist_update)
+        dist[centers[0]] = 0.0
+        for _ in range(n_centers - 1):
+            weights = dist * dist
+            total = weights.sum()
+            if total <= 0:
+                break
+            probs = weights / total
+            choice = int(rng.choice(n, p=probs))
+            centers.append(choice)
+            dist = np.minimum(dist, self._center_row(matrix, choice, far))
+            dist[choice] = 0.0
+        return FunctionalResult(
+            output=dist,
+            n_iterations=len(centers),
+            extras={"centers": centers},
+        )
+
+    @staticmethod
+    def _center_row(matrix: Matrix, center: int, far: float) -> np.ndarray:
+        """Distance row of one center via the Aril-Add ``vxm``."""
+        n = matrix.nrows
+        indicator = Vector.from_entries(n, [center], [1.0])
+        row = vxm(indicator, matrix, ARIL_ADD)
+        out = np.full(n, far)
+        idx, vals = row.entries()
+        out[idx] = vals
+        return out

@@ -1,0 +1,53 @@
+"""Workload registry: the paper's Table III, in order."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+from repro.workloads.pagerank import PageRank
+from repro.workloads.kcore import KCore
+from repro.workloads.bfs import BFS
+from repro.workloads.sssp import SSSP
+from repro.workloads.kpp import KMeansPlusPlus
+from repro.workloads.knn import KNN
+from repro.workloads.label_prop import LabelPropagation
+from repro.workloads.gcn import GCN
+from repro.workloads.solvers import BiCGStab, ConjugateGradient, GMRES
+
+
+def _build_registry() -> Dict[str, Workload]:
+    workloads = (
+        PageRank(),
+        KCore(),
+        BFS(),
+        SSSP(),
+        KMeansPlusPlus(),
+        KNN(),
+        LabelPropagation(),
+        GCN(),
+        GMRES(),
+        ConjugateGradient(),
+        BiCGStab(),
+    )
+    return {w.name: w for w in workloads}
+
+
+#: Singleton instances keyed by Table-III short name.
+WORKLOADS: Dict[str, Workload] = _build_registry()
+
+
+def workload_names() -> List[str]:
+    """Table-III order."""
+    return list(WORKLOADS)
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload; raises with the available names on a miss."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; available: {workload_names()}"
+        ) from None

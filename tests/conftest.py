@@ -1,0 +1,34 @@
+"""Shared fixtures: small deterministic matrices and hypothesis strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dense(rng) -> np.ndarray:
+    """A 30x30 ~10%-dense matrix with a guaranteed empty row and column."""
+    dense = (rng.random((30, 30)) < 0.1) * rng.uniform(0.5, 1.5, (30, 30))
+    dense[7, :] = 0.0
+    dense[:, 13] = 0.0
+    return dense
+
+
+@pytest.fixture
+def small_coo(small_dense) -> COOMatrix:
+    return COOMatrix.from_dense(small_dense)
+
+
+def random_coo(seed: int, n: int = 25, density: float = 0.12) -> COOMatrix:
+    """Deterministic random square COO used by parametrized tests."""
+    gen = np.random.default_rng(seed)
+    dense = (gen.random((n, n)) < density) * gen.uniform(-2.0, 2.0, (n, n))
+    return COOMatrix.from_dense(dense)

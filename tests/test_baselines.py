@@ -1,0 +1,114 @@
+"""Unit tests for the baseline architecture models."""
+
+import pytest
+
+from repro.arch.config import SparsepipeConfig
+from repro.arch.profile import WorkloadProfile
+from repro.baselines import (
+    CPUModel,
+    GPUModel,
+    IdealAccelerator,
+    OracleAccelerator,
+    SoftwareOEIModel,
+    fused_vector_bytes,
+    unfused_vector_bytes,
+)
+from repro.baselines.roofline import iteration_compute_cycles, pair_vector_bytes
+from repro.matrices import banded_mesh
+from repro.preprocess import preprocess
+
+
+@pytest.fixture(scope="module")
+def prep():
+    return preprocess(banded_mesh(500, 15, 4000, seed=9), reorder=None, block_size=None)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return WorkloadProfile(
+        name="pr", semiring_name="mul_add", has_oei=True, n_iterations=12,
+        path_ewise_ops=2, side_ewise_ops=1, aux_streams=1,
+    )
+
+
+class TestTrafficFormulas:
+    def test_unfused_exceeds_fused(self, profile):
+        assert unfused_vector_bytes(100, profile, 0) > fused_vector_bytes(100, profile, 0)
+
+    def test_kernel_per_op_exceeds_fused_ewise(self, profile):
+        per_kernel = unfused_vector_bytes(100, profile, 0, fused_ewise=False)
+        fused = unfused_vector_bytes(100, profile, 0, fused_ewise=True)
+        assert per_kernel > fused
+
+    def test_pair_cheaper_than_two_fused_iterations(self, profile):
+        pair = pair_vector_bytes(100, profile, 0)
+        two = 2 * fused_vector_bytes(100, profile, 0)
+        assert pair < two  # the intermediate vector never leaves chip
+
+    def test_activity_scales_traffic(self, profile):
+        from dataclasses import replace
+
+        sparse = replace(profile, activity=(0.1,))
+        assert fused_vector_bytes(100, sparse, 0) < fused_vector_bytes(100, profile, 0)
+
+    def test_compute_cycles_take_slowest_core(self, profile):
+        # nnz dominates: 10_000 contraction ops vs 100*3 e-wise ops.
+        cycles = iteration_compute_cycles(10_000, 100, profile, 0, pes_per_core=100)
+        assert cycles == pytest.approx(100.0)
+
+
+class TestOrderingInvariants:
+    def test_oracle_fastest_then_sparsepipe_like_then_ideal(self, prep, profile):
+        cfg = SparsepipeConfig(subtensor_cols=32)
+        oracle = OracleAccelerator(cfg).run(profile, prep)
+        ideal = IdealAccelerator(cfg).run(profile, prep)
+        assert oracle.seconds < ideal.seconds
+
+    def test_cpu_slower_than_gpu_on_large_matrix(self, prep, profile):
+        # Scale so the matrix dwarfs both caches: pure bandwidth race.
+        paper_nnz = prep.matrix.nnz * 10**6
+        cpu = CPUModel().run(profile, prep, paper_nnz=paper_nnz)
+        gpu = GPUModel().run(profile, prep, paper_nnz=paper_nnz)
+        assert gpu.seconds < cpu.seconds
+
+    def test_non_oei_profile_oracle_streams_per_iteration(self, prep, profile):
+        from dataclasses import replace
+
+        non_oei = replace(profile, has_oei=False)
+        cfg = SparsepipeConfig(subtensor_cols=32)
+        paired = OracleAccelerator(cfg).run(profile, prep)
+        streamed = OracleAccelerator(cfg).run(non_oei, prep)
+        assert streamed.traffic.matrix_bytes > paired.traffic.matrix_bytes
+
+    def test_cache_scaling_affects_cpu(self, prep, profile):
+        big_cache = CPUModel().run(profile, prep)  # paper-size LLC, fits
+        tiny_cache = CPUModel().run(profile, prep, paper_nnz=prep.matrix.nnz * 10**6)
+        assert big_cache.traffic.matrix_bytes < tiny_cache.traffic.matrix_bytes
+
+
+class TestSoftwareOEI:
+    def test_beats_plain_cpu_on_matrix_bound_workload(self, prep, profile):
+        # Matrix far larger than the LLC: the CPU re-streams it every
+        # iteration while software OEI streams once per pair.
+        paper_nnz = prep.matrix.nnz * 10**6
+        sw = SoftwareOEIModel().run(profile, prep, paper_nnz=paper_nnz)
+        cpu = CPUModel().run(profile, prep, paper_nnz=paper_nnz)
+        assert sw.traffic.matrix_bytes < cpu.traffic.matrix_bytes
+
+    def test_loses_to_hardware_sparsepipe(self, prep, profile):
+        from repro.arch.config import CPU_DDR4
+        from repro.arch.simulator import SparsepipeSimulator
+
+        paper_nnz = prep.matrix.nnz * 100
+        sw = SoftwareOEIModel().run(profile, prep, paper_nnz=paper_nnz)
+        hw = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=32).with_memory(CPU_DDR4)
+        ).run(profile, prep, paper_nnz=paper_nnz)
+        # Section II-B: software buffer management erodes the benefit.
+        assert hw.seconds < sw.seconds
+
+    def test_buffer_mgmt_ops_charged(self, prep, profile):
+        cheap = SoftwareOEIModel(buffer_mgmt_ops_per_element=0.0).run(profile, prep)
+        costly = SoftwareOEIModel(buffer_mgmt_ops_per_element=50.0).run(profile, prep)
+        assert costly.compute_ops > cheap.compute_ops
+        assert costly.seconds >= cheap.seconds

@@ -1,0 +1,79 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.formats.matrix_market import write_matrix_market
+from tests.conftest import random_coo
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(["simulate", "-w", "pr", "-m", "gy"])
+        assert args.workload == "pr" and args.matrix == "gy"
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(["experiment", "table1", "fig14"])
+        assert args.ids == ["table1", "fig14"]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pr" in out and "sssp" in out
+        assert "ca" in out and "eu" in out
+        assert "sparsepipe" in out
+
+    def test_footprint(self, capsys):
+        assert main(["footprint"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "bu" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "-w", "sssp", "-m", "gy"]) == 0
+        out = capsys.readouterr().out
+        assert "sparsepipe" in out and "oracle" in out
+
+    def test_simulate_single_arch(self, capsys):
+        assert main(["simulate", "-w", "pr", "-m", "gy", "-a", "ideal"]) == 0
+        out = capsys.readouterr().out
+        assert "ideal" in out and "oracle" not in out
+
+    def test_analyze(self, tmp_path, capsys):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(random_coo(2, n=30), path)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OEI reuse window" in out
+
+    def test_unknown_experiment_id(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+
+class TestExportCommand:
+    def test_export_writes_json(self, tmp_path, monkeypatch, capsys):
+        import repro.__main__ as cli
+        from repro.experiments.runner import ExperimentContext
+
+        # Shrink the sweep so the CLI test stays fast.
+        monkeypatch.setattr(
+            cli, "ExperimentContext",
+            lambda: ExperimentContext(workloads=("pr",), matrices=("gy",)),
+        )
+        out = tmp_path / "results.json"
+        assert main(["export", str(out)]) == 0
+        assert out.exists()
+        import json
+
+        doc = json.loads(out.read_text())
+        assert "summary" in doc and "table1" in doc

@@ -1,0 +1,243 @@
+"""Tests for the dataflow IR, fusion, OEI detection, and compiler."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import (
+    DataflowGraph,
+    OpKind,
+    OperandKind,
+    analyze,
+    classify_op,
+    compile_program,
+    find_oei_path,
+    fuse_ewise,
+)
+from repro.dataflow.dependency import DependencyClass, is_subtensor
+from repro.errors import CompileError
+
+
+def pagerank_graph() -> DataflowGraph:
+    g = DataflowGraph("pagerank")
+    L = g.matrix("L")
+    pr = g.vector("pr_next")
+    y = g.vector("pr_nextnext")
+    scaled = g.vector("scaled")
+    new = g.vector("pr_new")
+    g.scalar("teleport")
+    g.vxm("spmv", pr, L, y, "mul_add")
+    g.ewise("damp", "times", [y], scaled, immediate=0.85)
+    g.ewise("tele", "plus", [scaled], new, scalar_operand="teleport")
+    g.carry(new, pr)
+    return g
+
+
+def knn_graph() -> DataflowGraph:
+    g = DataflowGraph("knn")
+    m = g.matrix("M")
+    v1, v2, v3 = g.vector("v1"), g.vector("v2"), g.vector("v3")
+    g.vxm("hop1", v1, m, v2, "and_or")
+    g.vxm("hop2", v2, m, v3, "and_or")
+    g.carry(v3, v1)
+    return g
+
+
+def cg_like_graph() -> DataflowGraph:
+    """A CG-style body: the vxm output feeds a *dot* (reduction) whose
+    scalar gates the update — no legal OEI path."""
+    g = DataflowGraph("cg")
+    a = g.matrix("A")
+    p, q = g.vector("p"), g.vector("q")
+    alpha = g.scalar("alpha")
+    x, x_new = g.vector("x"), g.vector("x_new")
+    g.vxm("spmv", p, a, q, "mul_add")
+    g.add_op(
+        __import__("repro.dataflow.graph", fromlist=["OpNode"]).OpNode(
+            "pq_dot", OpKind.DOT, (p, q), alpha, op_name="mul_add"
+        )
+    )
+    g.ewise("axpy", "plus", [x], x_new, scalar_operand="alpha")
+    return g
+
+
+class TestGraphConstruction:
+    def test_tensor_redeclaration_consistent(self):
+        g = DataflowGraph("t")
+        a = g.vector("a")
+        assert g.vector("a") is a
+
+    def test_tensor_redeclaration_conflict(self):
+        g = DataflowGraph("t")
+        g.vector("a")
+        with pytest.raises(CompileError):
+            g.matrix("a")
+
+    def test_undeclared_tensor_rejected(self):
+        from repro.dataflow.graph import OpNode, TensorKind, TensorNode
+
+        g = DataflowGraph("t")
+        ghost = TensorNode("ghost", TensorKind.VECTOR)
+        with pytest.raises(CompileError):
+            g.add_op(OpNode("op", OpKind.NOOP, (ghost,), ghost))
+
+    def test_duplicate_op_name_rejected(self):
+        g = pagerank_graph()
+        with pytest.raises(CompileError):
+            g.ewise("damp", "times", [g.tensors["scaled"]], g.vector("zz"))
+
+    def test_topo_order_detects_cycle(self):
+        g = DataflowGraph("t")
+        a, b = g.vector("a"), g.vector("b")
+        op1 = g.ewise("f", "plus", [a, b], a)
+        op2 = g.ewise("h", "plus", [a], b)
+        with pytest.raises(CompileError):
+            g.topo_order([op1, op2])
+
+    def test_producer_and_consumers(self):
+        g = pagerank_graph()
+        assert g.producer_of("pr_nextnext").name == "spmv"
+        assert [op.name for op in g.consumers_of("pr_nextnext")] == ["damp"]
+
+
+class TestClassification:
+    def test_ewise_is_elementwise(self):
+        g = pagerank_graph()
+        assert classify_op(g.ops[1]) is DependencyClass.ELEMENTWISE
+
+    def test_vxm_is_contraction(self):
+        g = pagerank_graph()
+        assert classify_op(g.ops[0]) is DependencyClass.CONTRACTION
+
+    def test_dot_is_reduction(self):
+        g = cg_like_graph()
+        dot = next(op for op in g.ops if op.kind is OpKind.DOT)
+        assert classify_op(dot) is DependencyClass.REDUCTION
+        assert not is_subtensor(dot)
+
+
+class TestFusion:
+    def test_pagerank_single_group(self):
+        groups = fuse_ewise(pagerank_graph())
+        assert len(groups) == 1
+        assert groups[0].n_ops == 2
+        # 'scaled' never leaves the group; 'pr_new' is loop-carried out.
+        assert groups[0].internal_tensors == ("scaled",)
+        assert "pr_new" in groups[0].outputs
+
+    def test_disconnected_groups_stay_separate(self):
+        g = DataflowGraph("t")
+        a, b, c, d = (g.vector(x) for x in "abcd")
+        g.ewise("f1", "abs", [a], b)
+        g.ewise("f2", "abs", [c], d)
+        assert len(fuse_ewise(g)) == 2
+
+    def test_no_ewise(self):
+        assert fuse_ewise(knn_graph()) == []
+
+
+class TestOEIDetection:
+    def test_pagerank_cross_iteration(self):
+        path = find_oei_path(pagerank_graph())
+        assert path is not None
+        assert path.iteration_distance == 1
+        assert [op.name for op in path.ewise_ops] == ["damp", "tele"]
+
+    def test_knn_within_iteration(self):
+        path = find_oei_path(knn_graph())
+        assert path is not None
+        assert path.iteration_distance == 0
+        assert path.n_ewise_ops == 0
+
+    def test_cg_has_no_path(self):
+        assert find_oei_path(cg_like_graph()) is None
+
+    def test_non_constant_matrix_blocks_reuse(self):
+        g = DataflowGraph("t")
+        m = g.matrix("M", constant=False)
+        v1, v2 = g.vector("v1"), g.vector("v2")
+        g.vxm("op", v1, m, v2, "mul_add")
+        g.carry(v2, v1)
+        assert find_oei_path(g) is None
+
+
+class TestCompiler:
+    def test_pagerank_program(self):
+        prog = compile_program(pagerank_graph())
+        assert prog.has_oei
+        assert prog.semiring_name == "mul_add"
+        assert prog.n_path_ops == 2
+        assert prog.result_reg == 1
+        assert prog.scalar_names == ("teleport",)
+        assert prog.aux_vectors == ()
+
+    def test_knn_program_is_noop(self):
+        prog = compile_program(knn_graph())
+        assert prog.has_oei and prog.result_reg is None
+        assert prog.n_path_ops == 0
+
+    def test_cg_program_no_oei(self):
+        prog = compile_program(cg_like_graph())
+        assert not prog.has_oei
+        assert prog.side_ewise_ops == 1
+
+    def test_mixed_semirings_rejected(self):
+        g = knn_graph()
+        g2 = DataflowGraph("bad")
+        m = g2.matrix("M")
+        a, b, c = g2.vector("a"), g2.vector("b"), g2.vector("c")
+        g2.vxm("one", a, m, b, "and_or")
+        g2.vxm("two", b, m, c, "min_add")
+        with pytest.raises(CompileError):
+            compile_program(g2)
+
+    def test_no_contraction_rejected(self):
+        g = DataflowGraph("empty")
+        a, b = g.vector("a"), g.vector("b")
+        g.ewise("f", "abs", [a], b)
+        with pytest.raises(CompileError):
+            compile_program(g)
+
+    def test_unknown_ewise_op_rejected(self):
+        g = pagerank_graph()
+        g.ewise("bogus", "no_such_op", [g.tensors["pr_new"]], g.vector("zz"))
+        g.loop_carried.clear()
+        g.carry(g.tensors["zz"], g.tensors["pr_next"])
+        with pytest.raises(CompileError):
+            compile_program(g)
+
+    def test_run_elementwise_aux_and_scalar(self):
+        g = DataflowGraph("sssp_like")
+        m = g.matrix("A")
+        dist, y, new = g.vector("dist"), g.vector("y"), g.vector("new_dist")
+        g.vxm("relax", dist, m, y, "min_add")
+        g.ewise("take_min", "min", [y, dist], new)
+        g.carry(new, dist)
+        prog = compile_program(g)
+        assert prog.aux_vectors == ("dist",)
+        out = prog.run_elementwise(
+            np.array([5.0, 1.0]),
+            np.array([0, 1]),
+            {"dist": np.array([3.0, 4.0])},
+            {},
+        )
+        assert np.array_equal(out, [3.0, 1.0])
+
+    def test_missing_aux_raises(self):
+        g = DataflowGraph("t")
+        m = g.matrix("A")
+        d, y, nd = g.vector("d"), g.vector("y"), g.vector("nd")
+        g.vxm("op", d, m, y, "min_add")
+        g.ewise("mn", "min", [y, d], nd)
+        g.carry(nd, d)
+        prog = compile_program(g)
+        with pytest.raises(CompileError):
+            prog.run_elementwise(np.zeros(2), np.arange(2), {}, {})
+
+
+class TestAnalysis:
+    def test_analysis_summary(self):
+        a = analyze(pagerank_graph())
+        assert a.has_oei
+        assert a.n_fused_groups == 1
+        assert a.total_ewise_ops == 2
+        assert a.semiring_name == "mul_add"

@@ -1,0 +1,153 @@
+"""Tests for the banked DRAM model and its simulator integration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import GPU_GDDR6X, SparsepipeConfig
+from repro.arch.dram import BankedDRAM, DRAMGeometry
+from repro.arch.memory import MemoryController
+from repro.arch.profile import WorkloadProfile
+from repro.arch.simulator import SparsepipeSimulator
+from repro.matrices import bipartite_block, road_network
+from tests.conftest import random_coo
+
+
+@pytest.fixture
+def dram():
+    return BankedDRAM(GPU_GDDR6X, clock_ghz=1.0)
+
+
+class TestBankedDRAM:
+    def test_streaming_reaches_near_peak(self, dram):
+        # Row-sized bursts: nearly pure bus time.
+        assert dram.efficiency(avg_burst_bytes=2048) > 0.9
+
+    def test_scattered_bursts_lose_bandwidth(self, dram):
+        assert dram.efficiency(avg_burst_bytes=12) < 0.5
+
+    def test_efficiency_monotone_in_burst_size(self, dram):
+        sizes = [16, 64, 256, 1024, 4096]
+        effs = [dram.efficiency(s) for s in sizes]
+        assert all(b >= a - 1e-9 for a, b in zip(effs, effs[1:]))
+
+    def test_zero_bytes_free(self, dram):
+        assert dram.cycles(0.0, 64) == 0.0
+
+    def test_negative_bytes_rejected(self, dram):
+        with pytest.raises(ValueError):
+            dram.cycles(-1.0, 64)
+
+    def test_granule_rounding_penalizes_tiny_bursts(self, dram):
+        # A 4-byte burst still moves the 32-byte granule.
+        four = dram.cycles(4_000.0, 4)
+        thirty_two = dram.cycles(4_000.0, 32)
+        assert four > thirty_two * 0.99
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            DRAMGeometry(channels=0)
+
+    def test_more_banks_hide_more_activations(self):
+        few = BankedDRAM(GPU_GDDR6X, 1.0, DRAMGeometry(banks_per_channel=2))
+        many = BankedDRAM(GPU_GDDR6X, 1.0, DRAMGeometry(banks_per_channel=32))
+        assert many.cycles(1e6, 64) <= few.cycles(1e6, 64)
+
+
+class TestMemoryControllerIntegration:
+    def test_flat_ignores_hints(self):
+        cfg = SparsepipeConfig(detailed_dram=False)
+        mem = MemoryController(cfg, burst_hints={"csc": 8.0})
+        flat = mem.demand_cycles({"csc": 1000.0})
+        assert flat == pytest.approx(mem.cycles_for(1000.0))
+
+    def test_detailed_charges_scatter_more(self):
+        cfg = SparsepipeConfig(detailed_dram=True)
+        mem = MemoryController(
+            cfg, burst_hints={"csc": 8192.0, "csr_reload": 16.0}
+        )
+        streamed = mem.demand_cycles({"csc": 100_000.0})
+        scattered = mem.demand_cycles({"csr_reload": 100_000.0})
+        assert scattered > 1.5 * streamed
+
+    def test_detailed_default_hint_is_streaming(self):
+        cfg = SparsepipeConfig(detailed_dram=True)
+        mem = MemoryController(cfg)
+        assert mem.demand_cycles({"vector": 10_000.0}) < mem.cycles_for(10_000.0) * 1.5
+
+
+class TestSimulatorWithDetailedDRAM:
+    def _profile(self):
+        return WorkloadProfile(
+            name="pr", semiring_name="mul_add", has_oei=True,
+            n_iterations=6, path_ewise_ops=2,
+        )
+
+    def test_detailed_never_faster_than_flat(self):
+        """The banked model's best case is the flat streaming rate;
+        activation stalls can only add cycles."""
+        coo = bipartite_block(500, 5000, split=0.45, corner_share=0.9, seed=8)
+        flat = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=16, buffer_bytes=8 * 1024)
+        ).run(self._profile(), coo)
+        detailed = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=16, buffer_bytes=8 * 1024,
+                             detailed_dram=True)
+        ).run(self._profile(), coo)
+        assert flat.oom_evicted_bytes > 0  # ping-pong actually happens
+        assert detailed.cycles >= flat.cycles * 0.999
+
+    def test_short_row_reloads_pay_activation_stalls(self):
+        """When reload bursts are shorter than the bank array can hide,
+        the banked model charges real extra cycles — the wi ping-pong
+        penalty of Section VI-A."""
+        from repro.arch.loaders import LoadPlan
+
+        # Extremely short rows: ~2 nnz per row -> ~25-byte bursts.
+        coo = bipartite_block(4000, 8000, split=0.45, corner_share=0.9, seed=8)
+        plan = LoadPlan.from_matrix(coo, 16)
+        assert plan.matrix_stream_bytes / plan.n < 64
+        flat = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=16, buffer_bytes=8 * 1024)
+        ).run(self._profile(), coo)
+        detailed = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=16, buffer_bytes=8 * 1024,
+                             detailed_dram=True)
+        ).run(self._profile(), coo)
+        assert detailed.oom_evicted_bytes > 0
+        assert detailed.cycles > flat.cycles
+
+    def test_detailed_close_to_flat_on_streaming(self):
+        """A banded road network streams contiguously: both models
+        should agree within ~25%."""
+        coo = road_network(2000, 5000, seed=9)
+        flat = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=64)
+        ).run(self._profile(), coo)
+        detailed = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=64, detailed_dram=True)
+        ).run(self._profile(), coo)
+        assert detailed.cycles == pytest.approx(flat.cycles, rel=0.25)
+
+    def test_traffic_volume_independent_of_dram_model(self):
+        coo = random_coo(10, n=60, density=0.2)
+        flat = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=16)
+        ).run(self._profile(), coo)
+        detailed = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=16, detailed_dram=True)
+        ).run(self._profile(), coo)
+        assert detailed.traffic.total_bytes == pytest.approx(
+            flat.traffic.total_bytes, rel=0.05
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(1.0, 1e7),
+    st.floats(1.0, 1e5),
+)
+def test_property_banked_cycles_at_least_bus_time(n_bytes, burst):
+    dram = BankedDRAM(GPU_GDDR6X, 1.0)
+    cycles = dram.cycles(n_bytes, burst)
+    assert cycles >= n_bytes / dram.bytes_per_cycle - 1e-9

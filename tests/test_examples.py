@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the user-facing API contract; these tests keep them
+working as the library evolves. Each runs in a subprocess with the
+repository's interpreter.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+def test_all_examples_present():
+    assert set(ALL_EXAMPLES) >= {
+        "quickstart.py",
+        "graph_analytics.py",
+        "scientific_solvers.py",
+        "reuse_analysis.py",
+        "design_space.py",
+        "auto_oei_discovery.py",
+    }
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs(name):
+    result = _run(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_quickstart_verifies_oei(capsys):
+    result = _run("quickstart.py")
+    assert "verified" in result.stdout
+    assert "speedup" in result.stdout
+
+
+def test_reuse_analysis_accepts_matrix_file(tmp_path):
+    from repro.formats.matrix_market import write_matrix_market
+    from tests.conftest import random_coo
+
+    path = tmp_path / "m.mtx"
+    write_matrix_market(random_coo(4, n=40), path)
+    result = _run("reuse_analysis.py", str(path))
+    assert result.returncode == 0
+    assert "OEI reuse-window footprint" in result.stdout

@@ -1,0 +1,186 @@
+"""Tests for the experiment drivers on a reduced (workload x matrix)
+subset — fast enough for the unit suite, exercising every figure's
+logic end to end."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import ExperimentContext
+from repro.experiments import (
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig21,
+    fig22,
+    fig23,
+    table1,
+)
+from repro.experiments.report import format_bar_series, format_table
+
+
+@pytest.fixture(scope="module")
+def small_context() -> ExperimentContext:
+    return ExperimentContext(
+        workloads=("pr", "sssp", "cg"),
+        matrices=("gy", "ro"),
+    )
+
+
+class TestRunner:
+    def test_results_are_cached(self, small_context):
+        a = small_context.simulate("sparsepipe", "pr", "gy")
+        b = small_context.simulate("sparsepipe", "pr", "gy")
+        assert a is b
+
+    def test_unknown_architecture(self, small_context):
+        with pytest.raises(ConfigError):
+            small_context.simulate("tpu", "pr", "gy")
+
+    def test_speedup_positive(self, small_context):
+        assert small_context.speedup("pr", "gy", over="ideal") > 0
+
+    def test_subset_respected(self, small_context):
+        assert small_context.all_workloads() == ("pr", "sssp", "cg")
+        assert small_context.all_matrices() == ("gy", "ro")
+
+    def test_prepared_variants_distinct(self, small_context):
+        a = small_context.prepared("gy", reorder=None, block_size=None)
+        b = small_context.prepared("gy", reorder="vanilla", block_size=256)
+        assert a is not b
+        assert a.blocked is None and b.blocked is not None
+
+
+class TestDrivers:
+    def test_table1_rows(self):
+        rows = table1.run()
+        assert len(rows) == 9
+        assert all(0 <= r.max_pct <= 100 for r in rows)
+
+    def test_fig14(self, small_context):
+        rows = fig14.run(small_context)
+        assert {r.workload for r in rows} == {"pr", "sssp", "cg"}
+        for r in rows:
+            assert set(r.speedups) == {"gy", "ro"}
+            assert r.geomean > 0.5
+
+    def test_fig15_uses_full_pairs(self):
+        # Fig 15's pairs are fixed by the paper regardless of subset.
+        ctx = ExperimentContext(matrices=("gy",))
+        series = fig15.run(ctx)
+        assert [(s.workload, s.matrix) for s in series] == [
+            ("sssp", "bu"), ("knn", "eu"), ("kcore", "eu"), ("sssp", "wi"),
+        ]
+
+    def test_fig16(self, small_context):
+        rows = fig16.run(small_context)
+        for r in rows:
+            assert r.iso_gpu_geomean > r.iso_cpu_geomean  # bandwidth gap
+
+    def test_fig17_restricted_to_gpu_workloads(self, small_context):
+        rows = fig17.run(small_context)
+        assert {r.workload for r in rows} == {"bfs", "kcore", "pr", "sssp"}
+
+    def test_fig18_upper_bound(self, small_context):
+        rows = fig18.run(small_context)
+        for r in rows:
+            for v in r.fraction_of_oracle.values():
+                assert v <= 1.001
+
+    def test_fig19_variants(self, small_context):
+        rows = fig19.run(small_context)
+        assert [r.variant for r in rows] == ["none", "blocked", "reorder", "both"]
+
+    def test_fig20_storage(self, small_context):
+        rows = fig20.run_storage(small_context)
+        assert all(0 < r.ratio_reordered < 1 for r in rows)
+
+    def test_fig21_utilization_bounds(self, small_context):
+        rows = fig21.run(small_context)
+        for r in rows:
+            for v in r.utilization.values():
+                assert 0 < v <= 1.0
+
+    def test_fig22_systems(self, small_context):
+        rows = fig22.run(small_context)
+        assert [r.system for r in rows] == ["cpu", "gpu", "sparsepipe"]
+
+    def test_fig23_relative_energy(self, small_context):
+        rows = fig23.run(small_context)
+        for r in rows:
+            assert r.relative_total > 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (10, 3.0)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [(1, 2)])
+
+    def test_format_bar_series(self):
+        text = format_bar_series(["x", "yy"], [1.0, 2.0])
+        assert "#" in text
+        assert "yy" in text
+
+    def test_format_bar_series_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            format_bar_series(["x"], [1.0, 2.0])
+
+    def test_format_bar_series_zero_peak(self):
+        text = format_bar_series(["x"], [0.0])
+        assert "0.000" in text
+
+
+class TestExport:
+    def test_export_writes_complete_document(self, small_context, tmp_path):
+        import json
+
+        from repro.experiments.export import export_all
+
+        path = export_all(tmp_path / "results.json", small_context)
+        doc = json.loads(path.read_text())
+        expected_sections = {
+            "table1", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig19", "fig20a", "fig20b", "fig21", "fig22", "fig23",
+            "summary",
+        }
+        assert set(doc) == expected_sections
+        assert len(doc["table1"]) == 9
+        assert all("claim" in c for c in doc["summary"])
+
+    def test_export_round_trips_numeric_types(self, small_context, tmp_path):
+        import json
+
+        from repro.experiments.export import export_all
+
+        path = export_all(tmp_path / "r.json", small_context)
+        doc = json.loads(path.read_text())
+        for row in doc["fig14"]:
+            assert isinstance(row["geomean"], float)
+
+
+class TestSummary:
+    def test_summary_claims_structure(self, small_context):
+        from repro.experiments import summary
+
+        claims = summary.run(small_context)
+        assert len(claims) >= 10
+        for c in claims:
+            assert c.claim and c.paper and c.measured
+            assert isinstance(c.holds, bool)
+
+    def test_summary_main_prints_verdicts(self, small_context, capsys):
+        from repro.experiments import summary
+
+        summary.main(small_context)
+        out = capsys.readouterr().out
+        assert "paper" in out and "measured" in out
+        assert "claims hold" in out

@@ -1,0 +1,147 @@
+"""Unit tests for CSR/CSC and their conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats.compressed import INDEX_BYTES, VALUE_BYTES
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+
+class TestCSR:
+    def test_round_trip_dense(self, small_dense):
+        assert np.array_equal(CSRMatrix.from_dense(small_dense).to_dense(), small_dense)
+
+    def test_row_access(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        cols, vals = csr.row(3)
+        expected_cols = np.nonzero(small_dense[3])[0]
+        assert np.array_equal(cols, expected_cols)
+        assert np.array_equal(vals, small_dense[3, expected_cols])
+
+    def test_empty_row(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        cols, vals = csr.row(7)
+        assert cols.size == 0 and vals.size == 0
+
+    def test_row_nnz(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        assert np.array_equal(csr.row_nnz(), (small_dense != 0).sum(axis=1))
+
+    def test_matvec_matches_numpy(self, small_dense, rng):
+        csr = CSRMatrix.from_dense(small_dense)
+        x = rng.random(30)
+        assert np.allclose(csr.matvec(x), small_dense @ x)
+
+    def test_matvec_rejects_bad_length(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        with pytest.raises(ValueError):
+            csr.matvec(np.zeros(29))
+
+    def test_transpose(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        assert np.array_equal(csr.transpose().to_dense(), small_dense.T)
+
+    def test_indices_sorted_within_rows(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        for i in range(csr.nrows):
+            cols, _ = csr.row(i)
+            assert np.all(np.diff(cols) > 0)
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), np.array([0, 2, 1]), np.array([0, 1]), np.ones(2))
+
+    def test_validation_rejects_wrong_indptr_end(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), np.array([0, 1, 3]), np.array([0, 1]), np.ones(2))
+
+    def test_validation_rejects_out_of_range_index(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), np.array([0, 1, 2]), np.array([0, 2]), np.ones(2))
+
+    def test_slice_bytes(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        per_entry = INDEX_BYTES + VALUE_BYTES
+        assert np.array_equal(csr.slice_bytes(), csr.row_nnz() * per_entry)
+
+    def test_storage_bytes_accounts_all_arrays(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        expected = (
+            (csr.nrows + 1) * INDEX_BYTES
+            + csr.nnz * INDEX_BYTES
+            + csr.nnz * VALUE_BYTES
+        )
+        assert csr.storage_bytes() == expected
+
+
+class TestCSC:
+    def test_round_trip_dense(self, small_dense):
+        assert np.array_equal(CSCMatrix.from_dense(small_dense).to_dense(), small_dense)
+
+    def test_col_access(self, small_dense):
+        csc = CSCMatrix.from_dense(small_dense)
+        rows, vals = csc.col(5)
+        expected_rows = np.nonzero(small_dense[:, 5])[0]
+        assert np.array_equal(rows, expected_rows)
+        assert np.array_equal(vals, small_dense[expected_rows, 5])
+
+    def test_empty_col(self, small_dense):
+        csc = CSCMatrix.from_dense(small_dense)
+        rows, vals = csc.col(13)
+        assert rows.size == 0
+
+    def test_vecmat_matches_numpy(self, small_dense, rng):
+        csc = CSCMatrix.from_dense(small_dense)
+        x = rng.random(30)
+        assert np.allclose(csc.vecmat(x), x @ small_dense)
+
+    def test_vecmat_rejects_bad_length(self, small_dense):
+        with pytest.raises(ValueError):
+            CSCMatrix.from_dense(small_dense).vecmat(np.zeros(31))
+
+
+class TestConversions:
+    def test_csr_to_csc_preserves_matrix(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        assert np.array_equal(csr.to_csc().to_dense(), small_dense)
+
+    def test_csc_to_csr_preserves_matrix(self, small_dense):
+        csc = CSCMatrix.from_dense(small_dense)
+        assert np.array_equal(csc.to_csr().to_dense(), small_dense)
+
+    def test_coo_duplicates_summed(self):
+        coo = COOMatrix(
+            (2, 2), np.array([0, 0]), np.array([1, 1]), np.array([1.0, 2.5])
+        )
+        assert CSRMatrix.from_coo(coo).to_dense()[0, 1] == 3.5
+
+    def test_rectangular(self, rng):
+        dense = (rng.random((5, 9)) < 0.3) * rng.random((5, 9))
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.to_csc().to_csr() == csr
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 15), st.integers(1, 15), st.integers(0, 2**31 - 1))
+def test_property_csr_csc_round_trip(nr, nc, seed):
+    gen = np.random.default_rng(seed)
+    dense = (gen.random((nr, nc)) < 0.3) * gen.uniform(-1, 1, (nr, nc))
+    csr = CSRMatrix.from_dense(dense)
+    assert csr.to_csc().to_csr() == csr
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 12), st.integers(0, 2**31 - 1))
+def test_property_matvec_vecmat_transpose_duality(n, seed):
+    gen = np.random.default_rng(seed)
+    dense = (gen.random((n, n)) < 0.35) * gen.uniform(-1, 1, (n, n))
+    x = gen.uniform(-1, 1, n)
+    csr = CSRMatrix.from_dense(dense)
+    csc = CSCMatrix.from_dense(dense)
+    # x^T A == (A^T x)^T
+    assert np.allclose(csc.vecmat(x), csr.transpose().matvec(x))

@@ -1,0 +1,121 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.coo import COOMatrix
+
+
+class TestConstruction:
+    def test_from_dense_round_trip(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        assert np.array_equal(coo.to_dense(), small_dense)
+
+    def test_nnz_counts_stored_entries(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        assert coo.nnz == np.count_nonzero(small_dense)
+
+    def test_empty(self):
+        coo = COOMatrix.empty((4, 6))
+        assert coo.nnz == 0
+        assert coo.to_dense().shape == (4, 6)
+
+    def test_rejects_negative_shape(self):
+        with pytest.raises(ShapeError):
+            COOMatrix((-1, 3), np.zeros(0), np.zeros(0), np.zeros(0))
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_rejects_out_of_range_row(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), np.array([3]), np.array([0]), np.array([1.0]))
+
+    def test_rejects_out_of_range_col(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), np.array([0]), np.array([-1]), np.array([1.0]))
+
+    def test_rejects_non_2d_dense(self):
+        with pytest.raises(ShapeError):
+            COOMatrix.from_dense(np.zeros(5))
+
+
+class TestDeduplicate:
+    def test_sums_duplicates(self):
+        coo = COOMatrix(
+            (2, 2), np.array([0, 0, 1]), np.array([1, 1, 0]), np.array([2.0, 3.0, 4.0])
+        )
+        dedup = coo.deduplicate()
+        assert dedup.nnz == 2
+        assert dedup.to_dense()[0, 1] == 5.0
+
+    def test_drops_explicit_zeros(self):
+        coo = COOMatrix(
+            (2, 2), np.array([0, 0]), np.array([1, 1]), np.array([2.0, -2.0])
+        )
+        assert coo.deduplicate().nnz == 0
+
+    def test_sorted_row_major(self):
+        coo = COOMatrix(
+            (3, 3), np.array([2, 0, 1]), np.array([0, 2, 1]), np.array([1.0, 2.0, 3.0])
+        )
+        dedup = coo.deduplicate()
+        assert list(dedup.rows) == [0, 1, 2]
+
+    def test_idempotent(self, small_coo):
+        once = small_coo.deduplicate()
+        twice = once.deduplicate()
+        assert np.array_equal(once.rows, twice.rows)
+        assert np.array_equal(once.vals, twice.vals)
+
+    def test_empty_matrix(self):
+        assert COOMatrix.empty((3, 3)).deduplicate().nnz == 0
+
+
+class TestTransform:
+    def test_transpose(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        assert np.array_equal(coo.transpose().to_dense(), small_dense.T)
+
+    def test_transpose_shape(self):
+        coo = COOMatrix.empty((3, 7))
+        assert coo.transpose().shape == (7, 3)
+
+    def test_permute_rows(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        perm = np.random.default_rng(0).permutation(30)
+        permuted = coo.permute(row_perm=perm)
+        expected = np.zeros_like(small_dense)
+        expected[perm, :] = small_dense
+        assert np.array_equal(permuted.to_dense(), expected)
+
+    def test_permute_symmetric_preserves_values(self, small_coo):
+        perm = np.random.default_rng(1).permutation(30)
+        permuted = small_coo.permute(perm, perm)
+        assert permuted.nnz == small_coo.nnz
+        assert np.isclose(permuted.vals.sum(), small_coo.vals.sum())
+
+    def test_permute_none_is_identity(self, small_coo):
+        same = small_coo.permute()
+        assert np.array_equal(same.to_dense(), small_coo.to_dense())
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 12), st.integers(0, 2**31 - 1))
+def test_property_dense_round_trip(n, seed):
+    gen = np.random.default_rng(seed)
+    dense = (gen.random((n, n)) < 0.3) * gen.uniform(-1, 1, (n, n))
+    assert np.array_equal(COOMatrix.from_dense(dense).to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 10), st.integers(0, 2**31 - 1))
+def test_property_double_transpose_identity(n, seed):
+    gen = np.random.default_rng(seed)
+    dense = (gen.random((n, n)) < 0.4) * gen.uniform(-1, 1, (n, n))
+    coo = COOMatrix.from_dense(dense)
+    assert np.array_equal(coo.transpose().transpose().to_dense(), dense)

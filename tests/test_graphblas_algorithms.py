@@ -1,0 +1,131 @@
+"""Tests for the GraphBLAS-mini graph algorithms against networkx."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.formats.coo import COOMatrix
+from repro.graphblas import Matrix
+from repro.graphblas.algorithms import (
+    connected_components,
+    reachable_from,
+    triangle_count,
+)
+from repro.matrices import erdos_renyi, watts_strogatz
+
+
+def _nx_graph(matrix: Matrix, directed: bool):
+    nx = pytest.importorskip("networkx")
+    g = nx.DiGraph() if directed else nx.Graph()
+    g.add_nodes_from(range(matrix.nrows))
+    coo = matrix.coo
+    g.add_edges_from(zip(coo.rows.tolist(), coo.cols.tolist()))
+    return g
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    return Matrix(erdos_renyi(60, 500, seed=23))
+
+
+class TestTriangleCount:
+    def test_matches_networkx(self, random_graph):
+        nx = pytest.importorskip("networkx")
+        ours = triangle_count(random_graph)
+        g = _nx_graph(random_graph, directed=False)
+        theirs = sum(nx.triangles(g).values()) // 3
+        assert ours == theirs
+
+    def test_known_triangle(self):
+        dense = np.zeros((4, 4))
+        for i, j in ((0, 1), (1, 2), (2, 0)):
+            dense[i, j] = 1.0
+        assert triangle_count(Matrix.from_dense(dense)) == 1
+
+    def test_triangle_free(self):
+        # A path graph has no triangles.
+        dense = np.zeros((5, 5))
+        for i in range(4):
+            dense[i, i + 1] = 1.0
+        assert triangle_count(Matrix.from_dense(dense)) == 0
+
+    def test_small_world(self):
+        graph = Matrix(watts_strogatz(80, k=6, rewire=0.1, seed=2))
+        nx = pytest.importorskip("networkx")
+        g = _nx_graph(graph, directed=False)
+        assert triangle_count(graph) == sum(nx.triangles(g).values()) // 3
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            triangle_count(Matrix(COOMatrix.empty((3, 4))))
+
+
+class TestConnectedComponents:
+    def test_matches_networkx_weak_components(self, random_graph):
+        nx = pytest.importorskip("networkx")
+        labels, n_components = connected_components(random_graph)
+        g = _nx_graph(random_graph, directed=True)
+        theirs = list(nx.weakly_connected_components(g))
+        assert n_components == len(theirs)
+        # Same partition: same-label iff same nx component.
+        comp_of = {}
+        for cid, members in enumerate(theirs):
+            for v in members:
+                comp_of[v] = cid
+        for u in range(random_graph.nrows):
+            for v in range(u + 1, random_graph.nrows):
+                assert (labels[u] == labels[v]) == (comp_of[u] == comp_of[v])
+
+    def test_two_islands(self):
+        coo = COOMatrix(
+            (6, 6), np.array([0, 1, 3, 4]), np.array([1, 2, 4, 5]), np.ones(4)
+        )
+        labels, n = connected_components(Matrix(coo))
+        assert n == 2
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_isolated_vertices_are_singletons(self):
+        labels, n = connected_components(Matrix(COOMatrix.empty((4, 4))))
+        assert n == 4
+        assert sorted(labels) == [0, 1, 2, 3]
+
+    def test_labels_are_component_minima(self):
+        coo = COOMatrix((4, 4), np.array([3]), np.array([1]), np.ones(1))
+        labels, _ = connected_components(Matrix(coo))
+        assert labels[3] == labels[1] == 1
+
+
+class TestReachability:
+    def test_matches_networkx_descendants(self, random_graph):
+        nx = pytest.importorskip("networkx")
+        visited = reachable_from(random_graph, 0)
+        g = _nx_graph(random_graph, directed=True)
+        expected = nx.descendants(g, 0) | {0}
+        idx, _ = visited.entries()
+        assert set(idx.tolist()) == expected
+
+    def test_source_always_included(self):
+        visited = reachable_from(Matrix(COOMatrix.empty((3, 3))), 2)
+        idx, _ = visited.entries()
+        assert list(idx) == [2]
+
+    def test_directed_asymmetry(self):
+        coo = COOMatrix((3, 3), np.array([0]), np.array([1]), np.ones(1))
+        graph = Matrix(coo)
+        from_0 = reachable_from(graph, 0)
+        from_1 = reachable_from(graph, 1)
+        assert from_0.nvals == 2
+        assert from_1.nvals == 1
+
+    def test_hop_cap(self):
+        dense = np.zeros((5, 5))
+        for i in range(4):
+            dense[i, i + 1] = 1.0
+        limited = reachable_from(Matrix.from_dense(dense), 0, max_hops=2)
+        assert limited.nvals == 3  # source + 2 hops
+
+    def test_bad_source(self, random_graph):
+        with pytest.raises(IndexError):
+            reachable_from(random_graph, -1)

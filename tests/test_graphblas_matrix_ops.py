@@ -1,0 +1,169 @@
+"""Tests for the matrix-level GraphBLAS-mini operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.graphblas import (
+    Matrix,
+    Vector,
+    assign,
+    diag,
+    diag_matrix,
+    ewise_add_matrix,
+    ewise_mult_matrix,
+    extract,
+    reduce_cols,
+    reduce_rows,
+    select_matrix,
+    select_matrix_coords,
+)
+from repro.semiring import MAX, MIN_MONOID, PLUS, PLUS_MONOID, TIMES
+
+
+@pytest.fixture
+def pair(rng):
+    a = (rng.random((12, 12)) < 0.3) * rng.uniform(0.5, 2.0, (12, 12))
+    b = (rng.random((12, 12)) < 0.3) * rng.uniform(0.5, 2.0, (12, 12))
+    return a, b
+
+
+class TestMatrixEwise:
+    def test_add_union_semantics(self, pair):
+        a, b = pair
+        out = ewise_add_matrix(Matrix.from_dense(a), Matrix.from_dense(b), PLUS)
+        both = (a != 0) & (b != 0)
+        only_a = (a != 0) & (b == 0)
+        dense = out.to_dense()
+        assert np.allclose(dense[both], (a + b)[both])
+        assert np.allclose(dense[only_a], a[only_a])
+
+    def test_add_with_max(self, pair):
+        a, b = pair
+        out = ewise_add_matrix(Matrix.from_dense(a), Matrix.from_dense(b), MAX)
+        both = (a != 0) & (b != 0)
+        assert np.allclose(out.to_dense()[both], np.maximum(a, b)[both])
+
+    def test_mult_intersection_semantics(self, pair):
+        a, b = pair
+        out = ewise_mult_matrix(Matrix.from_dense(a), Matrix.from_dense(b), TIMES)
+        assert np.allclose(out.to_dense(), np.where((a != 0) & (b != 0), a * b, 0.0))
+
+    def test_shape_mismatch(self, pair):
+        a, _ = pair
+        with pytest.raises(ShapeError):
+            ewise_add_matrix(Matrix.from_dense(a), Matrix.from_dense(np.zeros((3, 3))), PLUS)
+
+    def test_add_empty_plus_full(self, pair):
+        a, _ = pair
+        empty = Matrix.from_dense(np.zeros((12, 12)))
+        out = ewise_add_matrix(Matrix.from_dense(a), empty, PLUS)
+        assert np.allclose(out.to_dense(), a)
+
+
+class TestSelect:
+    def test_select_by_value(self, pair):
+        a, _ = pair
+        out = select_matrix(Matrix.from_dense(a), lambda v: v > 1.0)
+        dense = out.to_dense()
+        assert np.allclose(dense, np.where(a > 1.0, a, 0.0))
+
+    def test_select_lower_triangle(self, pair):
+        a, _ = pair
+        out = select_matrix_coords(Matrix.from_dense(a), lambda r, c: r > c)
+        assert np.allclose(out.to_dense(), np.tril(a, k=-1))
+
+    def test_select_none(self, pair):
+        a, _ = pair
+        out = select_matrix(Matrix.from_dense(a), lambda v: v > 1e9)
+        assert out.nnz == 0
+
+
+class TestReduceDiag:
+    def test_reduce_rows_plus(self, pair):
+        a, _ = pair
+        out = reduce_rows(Matrix.from_dense(a), PLUS_MONOID)
+        nonempty = (a != 0).any(axis=1)
+        assert np.allclose(out.to_dense()[nonempty], a.sum(axis=1)[nonempty])
+        assert np.array_equal(out.present, nonempty)
+
+    def test_reduce_cols_min(self, pair):
+        a, _ = pair
+        out = reduce_cols(Matrix.from_dense(a), MIN_MONOID)
+        masked = np.where(a != 0, a, np.inf)
+        nonempty = (a != 0).any(axis=0)
+        assert np.allclose(out.to_dense(np.inf)[nonempty], masked.min(axis=0)[nonempty])
+
+    def test_diag_round_trip(self):
+        v = Vector.from_entries(5, [0, 3], [2.0, 7.0])
+        m = diag_matrix(v)
+        assert m.nnz == 2
+        back = diag(m)
+        assert back.isclose(v)
+
+    def test_diag_of_general_matrix(self, pair):
+        a, _ = pair
+        np.fill_diagonal(a, 3.5)
+        d = diag(Matrix.from_dense(a))
+        assert np.allclose(d.to_dense(), 3.5)
+
+
+class TestExtractAssign:
+    def test_extract_values_and_presence(self):
+        u = Vector.from_entries(6, [1, 4], [10.0, 40.0])
+        out = extract(u, [4, 0, 1])
+        assert out.size == 3
+        assert out.get(0) == 40.0
+        assert not out.present[1]
+        assert out.get(2) == 10.0
+
+    def test_extract_out_of_range(self):
+        with pytest.raises(IndexError):
+            extract(Vector.dense(3), [3])
+
+    def test_assign_writes_stored_only(self):
+        u = Vector.dense(5, 1.0)
+        incoming = Vector.from_entries(2, [0], [9.0])
+        out = assign(u, [2, 3], incoming)
+        assert out.get(2) == 9.0
+        assert out.get(3) == 1.0  # absent incoming leaves target alone
+
+    def test_assign_with_accum(self):
+        u = Vector.dense(4, 5.0)
+        incoming = Vector.dense(2, 2.0)
+        out = assign(u, [1, 2], incoming, accum=PLUS)
+        assert out.get(1) == 7.0 and out.get(2) == 7.0
+        assert out.get(0) == 5.0
+
+    def test_assign_shape_check(self):
+        with pytest.raises(ShapeError):
+            assign(Vector.dense(4), [0], Vector.dense(2))
+
+    def test_assign_does_not_mutate_input(self):
+        u = Vector.dense(3, 1.0)
+        assign(u, [0], Vector.dense(1, 9.0))
+        assert u.get(0) == 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 10), st.integers(0, 2**31 - 1))
+def test_property_matrix_ewise_add_commutative(n, seed):
+    gen = np.random.default_rng(seed)
+    a = (gen.random((n, n)) < 0.4) * gen.uniform(0.1, 1, (n, n))
+    b = (gen.random((n, n)) < 0.4) * gen.uniform(0.1, 1, (n, n))
+    ma, mb = Matrix.from_dense(a), Matrix.from_dense(b)
+    ab = ewise_add_matrix(ma, mb, PLUS).to_dense()
+    ba = ewise_add_matrix(mb, ma, PLUS).to_dense()
+    assert np.allclose(ab, ba)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 10), st.integers(0, 2**31 - 1))
+def test_property_reduce_rows_matches_matvec_ones(n, seed):
+    gen = np.random.default_rng(seed)
+    a = (gen.random((n, n)) < 0.4) * gen.uniform(0.1, 1, (n, n))
+    m = Matrix.from_dense(a)
+    reduced = reduce_rows(m, PLUS_MONOID).to_dense()
+    assert np.allclose(reduced, a.sum(axis=1))

@@ -1,0 +1,85 @@
+"""Tests for the GraphBLAS-mini Vector container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graphblas import Vector
+
+
+class TestConstruction:
+    def test_dense(self):
+        v = Vector.dense(4, fill=2.5)
+        assert v.nvals == 4
+        assert np.array_equal(v.to_dense(), [2.5] * 4)
+
+    def test_empty(self):
+        v = Vector.empty(5)
+        assert v.nvals == 0
+
+    def test_from_entries(self):
+        v = Vector.from_entries(5, [1, 3], [7.0, 8.0])
+        assert v.nvals == 2
+        assert v.get(3) == 8.0
+
+    def test_from_entries_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vector.from_entries(3, [3], [1.0])
+
+    def test_from_entries_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            Vector.from_entries(3, [0, 1], [1.0])
+
+    def test_negative_size(self):
+        with pytest.raises(ShapeError):
+            Vector(-1)
+
+    def test_values_shape_checked(self):
+        with pytest.raises(ShapeError):
+            Vector(3, values=np.zeros(4))
+
+
+class TestAccess:
+    def test_get_absent_with_default(self):
+        v = Vector.empty(3)
+        assert v.get(0, default=-1.0) == -1.0
+
+    def test_get_absent_without_default_raises(self):
+        with pytest.raises(KeyError):
+            Vector.empty(3).get(0)
+
+    def test_get_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vector.dense(3).get(3)
+
+    def test_set_makes_present(self):
+        v = Vector.empty(3)
+        v.set(1, 4.0)
+        assert v.nvals == 1 and v.get(1) == 4.0
+
+    def test_entries(self):
+        v = Vector.from_entries(6, [4, 2], [9.0, 3.0])
+        idx, vals = v.entries()
+        assert list(idx) == [2, 4]
+        assert list(vals) == [3.0, 9.0]
+
+    def test_to_dense_fill(self):
+        v = Vector.from_entries(3, [1], [5.0])
+        assert np.array_equal(v.to_dense(fill=-2.0), [-2.0, 5.0, -2.0])
+
+    def test_clear(self):
+        v = Vector.dense(3)
+        v.clear()
+        assert v.nvals == 0
+
+    def test_dup_is_deep(self):
+        v = Vector.dense(3, fill=1.0)
+        w = v.dup()
+        w.set(0, 99.0)
+        assert v.get(0) == 1.0
+
+    def test_isclose_structure_sensitive(self):
+        a = Vector.from_entries(3, [0], [1.0])
+        b = Vector.from_entries(3, [1], [1.0])
+        assert not a.isclose(b)
+        assert a.isclose(a.dup())

@@ -1,0 +1,90 @@
+"""Tests for MatrixMarket I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+from repro.formats.matrix_market import read_matrix_market, write_matrix_market
+
+
+def _read(text: str) -> COOMatrix:
+    return read_matrix_market(io.StringIO(text))
+
+
+class TestRead:
+    def test_general_real(self):
+        coo = _read(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "3 3 2\n"
+            "1 2 1.5\n"
+            "3 1 -2.0\n"
+        )
+        dense = coo.to_dense()
+        assert dense[0, 1] == 1.5
+        assert dense[2, 0] == -2.0
+        assert coo.nnz == 2
+
+    def test_pattern_defaults_to_one(self):
+        coo = _read(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 1\n"
+        )
+        assert coo.to_dense()[1, 0] == 1.0
+
+    def test_symmetric_mirrors_off_diagonal(self):
+        coo = _read(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 4.0\n"
+            "3 3 1.0\n"
+        )
+        dense = coo.to_dense()
+        assert dense[1, 0] == 4.0 and dense[0, 1] == 4.0
+        assert dense[2, 2] == 1.0
+        assert coo.deduplicate().nnz == 3
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(FormatError):
+            _read("%%NotMatrixMarket foo\n1 1 0\n")
+
+    def test_rejects_array_layout(self):
+        with pytest.raises(FormatError):
+            _read("%%MatrixMarket matrix array real general\n1 1\n0\n")
+
+    def test_rejects_complex_field(self):
+        with pytest.raises(FormatError):
+            _read("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+
+    def test_rejects_truncated_entries(self):
+        with pytest.raises(FormatError):
+            _read("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
+
+    def test_rejects_missing_size_line(self):
+        with pytest.raises(FormatError):
+            _read("%%MatrixMarket matrix coordinate real general\n% only comments\n")
+
+
+class TestWriteReadRoundTrip:
+    def test_round_trip(self, small_coo):
+        buf = io.StringIO()
+        write_matrix_market(small_coo, buf)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert np.allclose(back.to_dense(), small_coo.to_dense())
+
+    def test_file_round_trip(self, small_coo, tmp_path):
+        path = tmp_path / "matrix.mtx"
+        write_matrix_market(small_coo, path)
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), small_coo.to_dense())
+
+    def test_write_deduplicates(self):
+        coo = COOMatrix(
+            (2, 2), np.array([0, 0]), np.array([0, 0]), np.array([1.0, 2.0])
+        )
+        buf = io.StringIO()
+        write_matrix_market(coo, buf)
+        assert "2 2 1" in buf.getvalue()

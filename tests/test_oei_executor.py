@@ -1,0 +1,151 @@
+"""OEI functional executor: equality against sequential reference.
+
+These are the legality tests of Section III — the OEI pair schedule
+must compute bit-identical iterations for every semiring the paper's
+workloads use, at any sub-tensor size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import DataflowGraph, compile_program
+from repro.errors import ScheduleError
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.oei import run_oei_pairs, run_reference
+
+
+def _split(coo):
+    return CSCMatrix.from_coo(coo), CSRMatrix.from_coo(coo)
+
+
+def _random(n, density, seed, positive=True):
+    gen = np.random.default_rng(seed)
+    lo = 0.1 if positive else -1.0
+    dense = (gen.random((n, n)) < density) * gen.uniform(lo, 1.0, (n, n))
+    return COOMatrix.from_dense(dense)
+
+
+def pagerank_program():
+    g = DataflowGraph("pagerank")
+    L, pr, y = g.matrix("L"), g.vector("pr"), g.vector("y")
+    scaled, new = g.vector("scaled"), g.vector("new")
+    g.scalar("teleport")
+    g.vxm("spmv", pr, L, y, "mul_add")
+    g.ewise("damp", "times", [y], scaled, immediate=0.85)
+    g.ewise("tele", "plus", [scaled], new, scalar_operand="teleport")
+    g.carry(new, pr)
+    return compile_program(g)
+
+
+def sssp_program():
+    g = DataflowGraph("sssp")
+    a, dist, y, new = g.matrix("A"), g.vector("dist"), g.vector("y"), g.vector("new")
+    g.vxm("relax", dist, a, y, "min_add")
+    g.ewise("take_min", "min", [y, dist], new)
+    g.carry(new, dist)
+    return compile_program(g)
+
+
+def bfs_program():
+    g = DataflowGraph("bfs")
+    a, f, y = g.matrix("A"), g.vector("front"), g.vector("reach")
+    g.vxm("expand", f, a, y, "and_or")
+    g.carry(y, f)
+    return compile_program(g)
+
+
+class TestEquality:
+    @pytest.mark.parametrize("subtensor_cols", [1, 3, 16, 64, 200])
+    def test_pagerank_matches_reference(self, subtensor_cols):
+        coo = _random(53, 0.1, 3)
+        csc, csr = _split(coo)
+        prog = pagerank_program()
+        x0 = np.full(53, 1.0 / 53)
+        scal = lambda k, x: {"teleport": 0.15 / 53}
+        ref = run_reference(csc, prog, x0, 6, scalar_update=scal)
+        oei = run_oei_pairs(csc, csr, prog, x0, 6, scalar_update=scal,
+                            subtensor_cols=subtensor_cols)
+        for k in range(6):
+            np.testing.assert_allclose(oei.y_history[k], ref.y_history[k])
+            np.testing.assert_allclose(oei.x_history[k + 1], ref.x_history[k + 1])
+
+    @pytest.mark.parametrize("n_iterations", [1, 2, 3, 4, 5])
+    def test_odd_and_even_iteration_counts(self, n_iterations):
+        coo = _random(31, 0.15, 4)
+        csc, csr = _split(coo)
+        prog = pagerank_program()
+        x0 = np.ones(31) / 31
+        scal = lambda k, x: {"teleport": 0.15 / 31}
+        ref = run_reference(csc, prog, x0, n_iterations, scalar_update=scal)
+        oei = run_oei_pairs(csc, csr, prog, x0, n_iterations,
+                            scalar_update=scal, subtensor_cols=7)
+        assert oei.n_iterations == n_iterations
+        np.testing.assert_allclose(oei.final_x, ref.final_x)
+
+    def test_sssp_min_add_with_aux(self):
+        coo = _random(47, 0.12, 5)
+        csc, csr = _split(coo)
+        prog = sssp_program()
+        dist0 = np.full(47, np.inf)
+        dist0[0] = 0.0
+        aux = lambda k, x: {"dist": x}
+        ref = run_reference(csc, prog, dist0, 8, aux_provider=aux)
+        oei = run_oei_pairs(csc, csr, prog, dist0, 8, aux_provider=aux,
+                            subtensor_cols=10)
+        np.testing.assert_allclose(oei.final_x, ref.final_x)
+        # Distances must be monotonically non-increasing across iterations.
+        for a, b in zip(ref.x_history, ref.x_history[1:]):
+            assert np.all(b <= a + 1e-12)
+
+    def test_bfs_and_or_noop_path(self):
+        coo = _random(40, 0.08, 6)
+        csc, csr = _split(coo)
+        prog = bfs_program()
+        f0 = np.zeros(40)
+        f0[3] = 1.0
+        ref = run_reference(csc, prog, f0, 6)
+        oei = run_oei_pairs(csc, csr, prog, f0, 6, subtensor_cols=9)
+        for k in range(6):
+            np.testing.assert_array_equal(oei.y_history[k], ref.y_history[k])
+
+    def test_scalars_updated_per_iteration(self):
+        """Scalars recomputed from x_k each iteration flow correctly
+        through both pair halves."""
+        coo = _random(24, 0.2, 7)
+        csc, csr = _split(coo)
+        prog = pagerank_program()
+        x0 = np.ones(24) / 24
+        calls = []
+
+        def scal(k, x):
+            calls.append(k)
+            return {"teleport": float(x.sum()) * 0.01}
+
+        ref = run_reference(csc, prog, x0, 4, scalar_update=scal)
+        calls.clear()
+        oei = run_oei_pairs(csc, csr, prog, x0, 4, scalar_update=scal,
+                            subtensor_cols=5)
+        assert calls == [0, 1, 2, 3]
+        np.testing.assert_allclose(oei.final_x, ref.final_x)
+
+
+class TestErrors:
+    def test_non_oei_program_rejected(self):
+        g = DataflowGraph("plain")
+        a, p, q = g.matrix("A", constant=False), g.vector("p"), g.vector("q")
+        g.vxm("spmv", p, a, q, "mul_add")
+        prog = compile_program(g)
+        coo = _random(10, 0.3, 8)
+        csc, csr = _split(coo)
+        with pytest.raises(ScheduleError):
+            run_oei_pairs(csc, csr, prog, np.zeros(10), 2)
+
+    def test_rectangular_rejected(self):
+        gen = np.random.default_rng(0)
+        dense = (gen.random((4, 6)) < 0.5) * 1.0
+        coo = COOMatrix.from_dense(dense)
+        csc, csr = CSCMatrix.from_coo(coo), CSRMatrix.from_coo(coo)
+        with pytest.raises(ScheduleError):
+            run_oei_pairs(csc, csr, pagerank_program(), np.zeros(4), 2)

@@ -1,0 +1,156 @@
+"""Property-based tests of the OEI executor and simulator.
+
+The central invariant of the paper, stated executable: for *any*
+element-wise program, any semiring, any matrix, and any sub-tensor
+width, the OEI pair schedule computes exactly the same iterations as
+the conventional sequential schedule.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.program import EWiseInstr, OEIProgram, Operand, OperandKind
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.oei import run_oei_pairs, run_reference
+
+#: Binary ops that stay finite on bounded inputs.
+SAFE_BINARY = ("plus", "minus", "times", "min", "max", "abs_diff")
+SAFE_SEMIRINGS = ("mul_add", "min_add", "max_times")
+
+
+@st.composite
+def random_programs(draw):
+    """A random straight-line e-wise program of 1-4 instructions."""
+    n_instr = draw(st.integers(1, 4))
+    instructions = []
+    aux_used = draw(st.booleans())
+    scalar_used = draw(st.booleans())
+    for i in range(n_instr):
+        op = draw(st.sampled_from(SAFE_BINARY))
+        sources = [Operand(OperandKind.Y)]
+        if i > 0:
+            sources.append(Operand(OperandKind.REG, draw(st.integers(0, i - 1))))
+        choices = ["const"]
+        if aux_used:
+            choices.append("aux")
+        if scalar_used:
+            choices.append("scalar")
+        kind = draw(st.sampled_from(choices))
+        if kind == "const":
+            extra = Operand(
+                OperandKind.CONST,
+                draw(st.floats(-2.0, 2.0, allow_nan=False)),
+            )
+        elif kind == "aux":
+            extra = Operand(OperandKind.AUX, "a0")
+        else:
+            extra = Operand(OperandKind.SCALAR, "s0")
+        srcs = (sources[-1], extra) if len(sources) > 1 else (sources[0], extra)
+        instructions.append(EWiseInstr(op, i, srcs))
+    semiring = draw(st.sampled_from(SAFE_SEMIRINGS))
+    return OEIProgram(
+        name="random",
+        semiring_name=semiring,
+        instructions=tuple(instructions),
+        result_reg=n_instr - 1,
+        aux_vectors=("a0",) if aux_used else (),
+        scalar_names=("s0",) if scalar_used else (),
+        n_registers=n_instr,
+        has_oei=True,
+    )
+
+
+def _matrix(n: int, density: float, seed: int):
+    gen = np.random.default_rng(seed)
+    dense = (gen.random((n, n)) < density) * gen.uniform(0.1, 1.0, (n, n))
+    coo = COOMatrix.from_dense(dense)
+    return CSCMatrix.from_coo(coo), CSRMatrix.from_coo(coo)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    random_programs(),
+    st.integers(3, 35),
+    st.integers(1, 6),
+    st.sampled_from([1, 3, 7, 50]),
+    st.integers(0, 2**31 - 1),
+)
+def test_property_oei_equals_reference(program, n, n_iterations, subtensor, seed):
+    csc, csr = _matrix(n, 0.25, seed)
+    gen = np.random.default_rng(seed + 1)
+    x0 = gen.uniform(0.1, 1.0, n)
+    aux = {"a0": gen.uniform(-1.0, 1.0, n)}
+    aux_provider = lambda k, x: aux
+    scalar_update = lambda k, x: {"s0": 0.1 * (k + 1)}
+    ref = run_reference(csc, program, x0, n_iterations,
+                        aux_provider=aux_provider, scalar_update=scalar_update)
+    oei = run_oei_pairs(csc, csr, program, x0, n_iterations,
+                        aux_provider=aux_provider, scalar_update=scalar_update,
+                        subtensor_cols=subtensor)
+    for k in range(n_iterations):
+        np.testing.assert_allclose(
+            oei.y_history[k], ref.y_history[k], rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            oei.x_history[k + 1], ref.x_history[k + 1], rtol=1e-9, atol=1e-9
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(5, 60), st.integers(0, 2**31 - 1), st.sampled_from([4, 16, 64]))
+def test_property_simulator_traffic_conservation(n, seed, subtensor):
+    """Per pair, matrix traffic (demand + eager) covers each element
+    exactly once; scatter work equals nnz; window drains."""
+    from repro.arch.config import SparsepipeConfig
+    from repro.arch.profile import WorkloadProfile
+    from repro.arch.simulator import SparsepipeSimulator
+
+    gen = np.random.default_rng(seed)
+    dense = (gen.random((n, n)) < 0.3) * gen.uniform(0.1, 1.0, (n, n))
+    coo = COOMatrix.from_dense(dense)
+    if coo.nnz == 0:
+        return
+    profile = WorkloadProfile(
+        name="p", semiring_name="mul_add", has_oei=True, n_iterations=4,
+        path_ewise_ops=1,
+    )
+    config = SparsepipeConfig(subtensor_cols=subtensor)
+    result = SparsepipeSimulator(config).run(profile, coo)
+    matrix_stream = coo.nnz * 12.0
+    streamed = (
+        result.traffic.bytes_by_category["csc"]
+        + result.traffic.bytes_by_category["csr_eager"]
+    )
+    # 2 pairs -> exactly 2 full streams (paper-size buffer: no reloads).
+    np.testing.assert_allclose(streamed, 2 * matrix_stream, rtol=1e-9)
+    assert result.traffic.bytes_by_category["csr_reload"] == 0.0
+    assert result.bandwidth_utilization <= 0.9301
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(5, 60), st.integers(0, 2**31 - 1))
+def test_property_reuse_series_matches_loadplan_window(n, seed):
+    """The LoadPlan's admit schedule and the reuse analysis agree on
+    total residency."""
+    from repro.arch.loaders import LoadPlan
+    from repro.oei.reuse import reuse_footprint
+
+    gen = np.random.default_rng(seed)
+    dense = (gen.random((n, n)) < 0.3) * 1.0
+    coo = COOMatrix.from_dense(dense)
+    plan = LoadPlan.from_matrix(coo, subtensor_cols=1, element_bytes=12.0)
+    stats = reuse_footprint(coo, subtensor_cols=1)
+    # Elements entering the window = elements with residency > 1 step
+    # plus single-step immediates counted by the series.
+    admitted = sum(sum(c.values()) for c in plan.enter_counts)
+    immediates = int(stats.series.sum()) - sum(
+        (r - l)
+        for l, counts in enumerate(plan.enter_counts)
+        for r, cnt in counts.items()
+        for _ in range(cnt)
+    )
+    assert admitted <= coo.nnz
+    assert immediates >= 0

@@ -1,0 +1,124 @@
+"""Tests for the cross-iteration reuse footprint analysis (Table I)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.coo import COOMatrix
+from repro.oei import reuse_footprint
+from repro.oei.schedule import IS_LAG
+
+
+def _coo(n, rows, cols):
+    rows = np.asarray(rows)
+    return COOMatrix((n, n), rows, np.asarray(cols), np.ones(rows.size))
+
+
+class TestFootprint:
+    def test_empty_matrix(self):
+        stats = reuse_footprint(COOMatrix.empty((5, 5)))
+        assert stats.max_live == 0 and stats.avg_pct == 0.0
+
+    def test_single_diagonal_element(self):
+        # (2, 2): loaded at step 2, reused at step 4 -> live 2 steps.
+        stats = reuse_footprint(_coo(5, [2], [2]))
+        assert stats.max_live == 1
+        assert stats.series[2] == 1 and stats.series[3] == 1
+        assert stats.series[4] == 0
+
+    def test_upper_triangular_element_immediate_reuse(self):
+        # (0, 4): reuse step 2 < load step 4 -> lives exactly 1 step.
+        stats = reuse_footprint(_coo(6, [0], [4]))
+        assert stats.series[4] == 1
+        assert stats.series.sum() == 1
+
+    def test_lower_left_corner_long_residency(self):
+        # (9, 0) in a 10x10: loaded at 0, reused at 11 -> 11 steps live.
+        stats = reuse_footprint(_coo(10, [9], [0]))
+        assert stats.series[:11].sum() == 11
+
+    def test_dense_lower_triangle_peaks_midway(self):
+        n = 40
+        rows, cols = np.tril_indices(n, k=-1)
+        stats = reuse_footprint(_coo(n, rows, cols))
+        peak_step = int(np.argmax(stats.series))
+        assert n // 4 < peak_step < 3 * n // 4
+        # Uniform lower triangle: avg occupancy ~ nnz/3.
+        assert 25.0 < stats.avg_pct < 45.0
+
+    def test_identity_band_is_tiny(self):
+        n = 100
+        idx = np.arange(n)
+        stats = reuse_footprint(_coo(n, idx, idx))
+        assert stats.max_pct <= 100.0 * IS_LAG / n + 1.0
+
+    def test_subtensor_granularity_coarsens(self):
+        n = 64
+        rows, cols = np.tril_indices(n, k=-1)
+        fine = reuse_footprint(_coo(n, rows, cols), subtensor_cols=1)
+        coarse = reuse_footprint(_coo(n, rows, cols), subtensor_cols=16)
+        assert coarse.n_steps < fine.n_steps
+        # Coarser steps can only increase the peak fraction.
+        assert coarse.max_live >= fine.max_live
+
+    def test_invalid_subtensor_size(self):
+        with pytest.raises(ValueError):
+            reuse_footprint(_coo(4, [0], [0]), subtensor_cols=0)
+
+    def test_bytes_accounting(self):
+        stats = reuse_footprint(_coo(10, [9], [0]))
+        assert stats.max_bytes() == stats.max_live * 12
+        assert stats.avg_bytes(bytes_per_element=10) == stats.avg_live * 10
+
+    def test_accepts_csc_input(self):
+        from repro.formats.csc import CSCMatrix
+
+        coo = _coo(8, [1, 7], [5, 0])
+        a = reuse_footprint(coo)
+        b = reuse_footprint(CSCMatrix.from_coo(coo))
+        assert a.max_live == b.max_live
+        assert np.array_equal(a.series, b.series)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 40), st.integers(0, 2**31 - 1))
+def test_property_occupancy_bounds(n, seed):
+    gen = np.random.default_rng(seed)
+    dense = gen.random((n, n)) < 0.3
+    coo = COOMatrix.from_dense(dense.astype(float))
+    stats = reuse_footprint(coo)
+    assert 0 <= stats.max_live <= stats.nnz
+    assert 0.0 <= stats.avg_live <= stats.max_live
+    assert stats.series.min() >= 0
+    # Conservation: total residency equals the sum of interval lengths.
+    if coo.nnz:
+        dur = np.maximum(coo.cols + 1, coo.rows + IS_LAG) - coo.cols
+        assert stats.series.sum() == dur.sum()
+
+
+class TestFusionDepth:
+    def test_depth_two_is_default(self):
+        coo = _coo(10, [9], [0])
+        assert reuse_footprint(coo).max_live == reuse_footprint(
+            coo, fusion_depth=2
+        ).max_live
+
+    def test_deeper_fusion_extends_residency(self):
+        coo = _coo(10, [2], [2])
+        d2 = reuse_footprint(coo, fusion_depth=2)
+        d4 = reuse_footprint(coo, fusion_depth=4)
+        assert d4.series.sum() == d2.series.sum() + 2 * IS_LAG
+
+    def test_depth_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            reuse_footprint(_coo(4, [0], [0]), fusion_depth=1)
+
+    def test_monotone_in_depth(self):
+        n = 30
+        rows, cols = np.tril_indices(n, k=-1)
+        maxes = [
+            reuse_footprint(_coo(n, rows, cols), fusion_depth=k).max_live
+            for k in (2, 3, 5)
+        ]
+        assert maxes == sorted(maxes)

@@ -1,0 +1,56 @@
+"""Tests for the OEI step schedule."""
+
+import pytest
+
+from repro.oei import OEISchedule
+from repro.oei.schedule import EWISE_LAG, IS_LAG
+
+
+class TestSchedule:
+    def test_subtensor_count(self):
+        assert OEISchedule(100, 16).n_subtensors == 7
+        assert OEISchedule(96, 16).n_subtensors == 6
+        assert OEISchedule(0, 16).n_subtensors == 0
+
+    def test_last_subtensor_truncated(self):
+        sched = OEISchedule(100, 16)
+        last = sched.subtensor(6)
+        assert last.start == 96 and last.stop == 100 and last.width == 4
+
+    def test_subtensors_cover_all_columns(self):
+        sched = OEISchedule(57, 9)
+        covered = []
+        for st in sched.subtensors():
+            covered.extend(range(st.start, st.stop))
+        assert covered == list(range(57))
+
+    def test_n_steps_includes_drain(self):
+        sched = OEISchedule(64, 16)
+        assert sched.n_steps == 4 + IS_LAG
+
+    def test_stage_lags(self):
+        sched = OEISchedule(64, 16)
+        assert sched.os_at(0).index == 0
+        assert sched.ewise_at(0) is None
+        assert sched.ewise_at(EWISE_LAG).index == 0
+        assert sched.is_at(IS_LAG).index == 0
+        assert sched.os_at(sched.n_steps - 1) is None
+        assert sched.is_at(sched.n_steps - 1).index == sched.n_subtensors - 1
+
+    def test_each_stage_touches_each_subtensor_once(self):
+        sched = OEISchedule(40, 8)
+        for stage in (sched.os_at, sched.ewise_at, sched.is_at):
+            seen = [
+                stage(s).index
+                for s in range(sched.n_steps)
+                if stage(s) is not None
+            ]
+            assert seen == list(range(sched.n_subtensors))
+
+    def test_out_of_range_subtensor(self):
+        with pytest.raises(IndexError):
+            OEISchedule(10, 5).subtensor(2)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            OEISchedule(10, 0)

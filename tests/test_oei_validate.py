@@ -1,0 +1,111 @@
+"""Tests for the OEI legality validators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.oei import assert_oei_matches_reference, validate_schedule
+from repro.dataflow.program import EWiseInstr, OEIProgram, Operand, OperandKind
+
+
+def _program(result_bias: float = 0.0) -> OEIProgram:
+    """y * 0.9 + bias — a PageRank-shaped stream."""
+    return OEIProgram(
+        name="t",
+        semiring_name="mul_add",
+        instructions=(
+            EWiseInstr("times", 0, (Operand(OperandKind.Y), Operand(OperandKind.CONST, 0.9))),
+            EWiseInstr("plus", 1, (Operand(OperandKind.REG, 0), Operand(OperandKind.CONST, result_bias))),
+        ),
+        result_reg=1,
+        n_registers=2,
+        has_oei=True,
+    )
+
+
+class TestValidateSchedule:
+    def test_valid_for_typical_sizes(self):
+        timeline = validate_schedule(100, 16)
+        assert timeline.os_done == list(range(7))
+        assert timeline.is_done == list(range(7))
+
+    def test_valid_for_single_subtensor(self):
+        timeline = validate_schedule(5, 16)
+        assert timeline.os_done == [0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 500), st.integers(1, 64))
+    def test_property_schedule_always_legal(self, n, t):
+        validate_schedule(n, t)  # must never raise
+
+    def test_zero_columns(self):
+        timeline = validate_schedule(0, 8)
+        assert timeline.os_done == []
+
+
+class TestNumericValidation:
+    def _matrices(self, seed=0, n=30):
+        gen = np.random.default_rng(seed)
+        dense = (gen.random((n, n)) < 0.2) * gen.uniform(0.1, 1, (n, n))
+        coo = COOMatrix.from_dense(dense)
+        return CSCMatrix.from_coo(coo), CSRMatrix.from_coo(coo)
+
+    def test_passes_for_correct_program(self):
+        csc, csr = self._matrices()
+        trace = assert_oei_matches_reference(
+            csc, csr, _program(0.01), np.full(30, 1.0 / 30), 5
+        )
+        assert trace.n_iterations == 5
+
+    def test_raises_on_non_oei_program(self):
+        csc, csr = self._matrices()
+        program = OEIProgram(name="t", semiring_name="mul_add", has_oei=False)
+        with pytest.raises(ScheduleError):
+            assert_oei_matches_reference(csc, csr, program, np.zeros(30), 2)
+
+    def test_detects_divergence(self, monkeypatch):
+        """Corrupt the pair executor and confirm the validator sees it."""
+        import repro.oei.validate as validate_mod
+
+        csc, csr = self._matrices()
+        real = validate_mod.run_oei_pairs
+
+        def corrupted(*args, **kwargs):
+            trace = real(*args, **kwargs)
+            trace.y_history[1] = trace.y_history[1] + 1.0
+            return trace
+
+        monkeypatch.setattr(validate_mod, "run_oei_pairs", corrupted)
+        with pytest.raises(ScheduleError, match="iteration 1"):
+            validate_mod.assert_oei_matches_reference(
+                csc, csr, _program(), np.full(30, 0.5), 4
+            )
+
+    def test_with_scalars_and_aux(self):
+        csc, csr = self._matrices(seed=3)
+        program = OEIProgram(
+            name="t",
+            semiring_name="min_add",
+            instructions=(
+                EWiseInstr("min", 0, (Operand(OperandKind.Y), Operand(OperandKind.AUX, "d"))),
+            ),
+            result_reg=0,
+            aux_vectors=("d",),
+            n_registers=1,
+            has_oei=True,
+        )
+        x0 = np.full(30, np.inf)
+        x0[0] = 0.0
+        trace = assert_oei_matches_reference(
+            csc, csr, program, x0, 6,
+            aux_provider=lambda k, x: {"d": x},
+            subtensor_cols=7,
+        )
+        # Bellman-Ford shape: distances are non-increasing.
+        for a, b in zip(trace.x_history, trace.x_history[1:]):
+            assert np.all(b <= a + 1e-12)

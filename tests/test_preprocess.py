@@ -1,0 +1,123 @@
+"""Tests for reordering algorithms and the preprocessing pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.matrices import banded_mesh, power_law, road_network
+from repro.oei import reuse_footprint
+from repro.preprocess import (
+    bandwidth,
+    graph_order,
+    preprocess,
+    vanilla_reorder,
+)
+from tests.conftest import random_coo
+
+
+def _is_permutation(perm: np.ndarray, n: int) -> bool:
+    return perm.size == n and np.array_equal(np.sort(perm), np.arange(n))
+
+
+class TestVanillaReorder:
+    def test_returns_permutation(self):
+        coo = random_coo(3, n=50)
+        assert _is_permutation(vanilla_reorder(coo), 50)
+
+    def test_reduces_bandwidth_on_shuffled_band(self):
+        coo = banded_mesh(300, 5, 2000, seed=1)
+        shuffle = np.random.default_rng(0).permutation(300)
+        scrambled = coo.permute(shuffle, shuffle)
+        perm = vanilla_reorder(scrambled)
+        restored = scrambled.permute(perm, perm)
+        assert bandwidth(restored) < bandwidth(scrambled) / 3
+
+    def test_preserves_matrix_up_to_relabeling(self):
+        coo = random_coo(4, n=40)
+        perm = vanilla_reorder(coo)
+        permuted = coo.permute(perm, perm)
+        assert permuted.nnz == coo.deduplicate().nnz
+        assert np.isclose(permuted.vals.sum(), coo.deduplicate().vals.sum())
+
+    def test_rejects_rectangular(self):
+        from repro.formats.coo import COOMatrix
+
+        with pytest.raises(ValueError):
+            vanilla_reorder(COOMatrix.empty((3, 4)))
+
+    def test_handles_disconnected_components(self):
+        from repro.formats.coo import COOMatrix
+
+        # Two disjoint edges plus isolated vertices.
+        coo = COOMatrix(
+            (6, 6), np.array([0, 4]), np.array([1, 5]), np.array([1.0, 1.0])
+        )
+        assert _is_permutation(vanilla_reorder(coo), 6)
+
+
+class TestGraphOrder:
+    def test_returns_permutation(self):
+        coo = random_coo(5, n=60)
+        assert _is_permutation(graph_order(coo), 60)
+
+    def test_empty_matrix(self):
+        from repro.formats.coo import COOMatrix
+
+        assert graph_order(COOMatrix.empty((0, 0))).size == 0
+
+    def test_improves_locality_of_scattered_band(self):
+        coo = banded_mesh(200, 4, 1200, seed=2)
+        shuffle = np.random.default_rng(1).permutation(200)
+        scrambled = coo.permute(shuffle, shuffle)
+        perm = graph_order(scrambled, window=5)
+        restored = scrambled.permute(perm, perm)
+        before = reuse_footprint(scrambled).avg_pct
+        after = reuse_footprint(restored).avg_pct
+        assert after < before
+
+    def test_window_must_cover_neighbors(self):
+        coo = random_coo(6, n=30)
+        # Any window width still yields a valid permutation.
+        assert _is_permutation(graph_order(coo, window=1), 30)
+        assert _is_permutation(graph_order(coo, window=10), 30)
+
+
+class TestPipeline:
+    def test_preprocess_none(self):
+        coo = random_coo(7, n=40)
+        result = preprocess(coo, reorder=None, block_size=None)
+        assert result.permutation is None
+        assert result.blocked is None
+        assert result.reorder_name == "none"
+        assert result.dual_bytes > 0
+
+    def test_preprocess_with_blocking(self):
+        coo = random_coo(8, n=40)
+        result = preprocess(coo, reorder="vanilla", block_size=16)
+        assert result.blocked is not None
+        assert 0 < result.storage_ratio < 1.2
+        assert result.blocked_bytes == result.blocked.storage_bytes()
+
+    def test_preprocess_preserves_nnz(self):
+        coo = random_coo(9, n=40)
+        result = preprocess(coo, reorder="graphorder", block_size=32)
+        assert result.matrix.nnz == coo.deduplicate().nnz
+
+    def test_unknown_reorder(self):
+        with pytest.raises(ConfigError):
+            preprocess(random_coo(1), reorder="bogus")
+
+    def test_blocked_reduces_storage_on_local_matrix(self):
+        coo = road_network(2000, 5000, seed=3)
+        result = preprocess(coo, reorder="vanilla", block_size=256)
+        assert result.storage_ratio < 0.7
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_property_reorders_are_permutations(seed):
+    coo = random_coo(seed % 1000, n=35, density=0.15)
+    for perm in (vanilla_reorder(coo), graph_order(coo)):
+        assert _is_permutation(perm, 35)

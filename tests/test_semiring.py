@@ -1,0 +1,196 @@
+"""Tests for binary ops, monoids, and semirings, including algebraic
+property tests (associativity, commutativity, identity, annihilation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.semiring import (
+    ARIL,
+    ARIL_ADD,
+    AND_OR,
+    BINARY_OPS,
+    LOR_MONOID,
+    MIN_ADD,
+    MIN_MONOID,
+    MONOIDS,
+    MUL_ADD,
+    PLUS_MONOID,
+    SEMIRINGS,
+    semiring_by_name,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestBinaryOps:
+    def test_plus(self):
+        assert BINARY_OPS["plus"](2.0, 3.0) == 5.0
+
+    def test_minus_not_commutative_flagged(self):
+        assert not BINARY_OPS["minus"].commutative
+
+    def test_aril_selects_rhs_when_lhs_true(self):
+        out = ARIL(np.array([1.0, 0.0, 2.0]), np.array([5.0, 6.0, 7.0]))
+        assert np.array_equal(out, [5.0, 0.0, 7.0])
+
+    def test_lor_land_normalize_to_01(self):
+        assert BINARY_OPS["lor"](3.0, 0.0) == 1.0
+        assert BINARY_OPS["land"](3.0, 0.0) == 0.0
+        assert BINARY_OPS["land"](3.0, -1.0) == 1.0
+
+    def test_abs_diff(self):
+        assert BINARY_OPS["abs_diff"](2.0, 5.0) == 3.0
+
+    def test_first_second(self):
+        assert BINARY_OPS["first"](1.0, 9.0) == 1.0
+        assert BINARY_OPS["second"](1.0, 9.0) == 9.0
+
+    def test_vectorized(self):
+        out = BINARY_OPS["min"](np.array([1.0, 5.0]), np.array([3.0, 2.0]))
+        assert np.array_equal(out, [1.0, 2.0])
+
+
+class TestMonoids:
+    def test_reduce_empty_is_identity(self):
+        for monoid in MONOIDS.values():
+            assert monoid.reduce(np.zeros(0)) == monoid.identity
+
+    def test_plus_reduce(self):
+        assert PLUS_MONOID.reduce(np.array([1.0, 2.0, 3.0])) == 6.0
+
+    def test_min_reduce(self):
+        assert MIN_MONOID.reduce(np.array([3.0, -1.0, 2.0])) == -1.0
+
+    def test_segment_reduce_plus(self):
+        out = PLUS_MONOID.segment_reduce(
+            np.array([1.0, 2.0, 3.0, 4.0]), np.array([0, 2, 2, 0]), 3
+        )
+        assert np.array_equal(out, [5.0, 0.0, 5.0])
+
+    def test_segment_reduce_min_empty_segment_gets_identity(self):
+        out = MIN_MONOID.segment_reduce(np.array([2.0]), np.array([1]), 3)
+        assert out[0] == np.inf and out[1] == 2.0 and out[2] == np.inf
+
+    def test_segment_reduce_lor(self):
+        out = LOR_MONOID.segment_reduce(
+            np.array([0.0, 5.0, 0.0]), np.array([0, 1, 1]), 2
+        )
+        assert np.array_equal(out, [0.0, 1.0])
+
+    def test_scatter_plus(self):
+        out = np.zeros(3)
+        PLUS_MONOID.scatter(out, np.array([1, 1, 2]), np.array([1.0, 2.0, 5.0]))
+        assert np.array_equal(out, [0.0, 3.0, 5.0])
+
+    def test_scatter_min(self):
+        out = np.full(2, np.inf)
+        MIN_MONOID.scatter(out, np.array([0, 0]), np.array([4.0, 2.0]))
+        assert out[0] == 2.0
+
+    def test_scatter_lor(self):
+        out = np.zeros(2)
+        LOR_MONOID.scatter(out, np.array([0]), np.array([7.0]))
+        assert out[0] == 1.0
+
+    def test_scatter_empty_noop(self):
+        out = np.array([1.0])
+        PLUS_MONOID.scatter(out, np.zeros(0, dtype=int), np.zeros(0))
+        assert out[0] == 1.0
+
+
+class TestSemirings:
+    def test_registry_lookup(self):
+        assert semiring_by_name("mul_add") is MUL_ADD
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            semiring_by_name("nope")
+
+    def test_mul_add_vxm_dense(self, rng):
+        dense = rng.random((6, 6))
+        x = rng.random(6)
+        assert np.allclose(MUL_ADD.vxm_dense(x, dense), x @ dense)
+
+    def test_min_add_vxm_dense_is_tropical(self):
+        dense = np.array([[1.0, 10.0], [2.0, 1.0]])
+        x = np.array([0.0, 5.0])
+        out = MIN_ADD.vxm_dense(x, dense)
+        # out[j] = min_i (x[i] + a[i, j])
+        assert np.array_equal(out, [1.0, 6.0])
+
+    def test_and_or_vxm_dense_is_reachability(self):
+        dense = np.array([[0.0, 1.0], [0.0, 0.0]])
+        x = np.array([1.0, 0.0])
+        assert np.array_equal(AND_OR.vxm_dense(x, dense), [0.0, 1.0])
+
+    def test_aril_add_semantics(self):
+        dense = np.array([[3.0, 4.0]])
+        assert np.array_equal(ARIL_ADD.vxm_dense(np.array([1.0]), dense), [3.0, 4.0])
+        assert np.array_equal(ARIL_ADD.vxm_dense(np.array([0.0]), dense), [0.0, 0.0])
+
+    def test_every_semiring_has_distinct_name(self):
+        assert len(SEMIRINGS) == len({s.name for s in SEMIRINGS.values()})
+
+
+# ----------------------------------------------------------------------
+# Algebraic property tests
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(finite, finite, finite, st.sampled_from(["plus", "min", "max", "lor", "land"]))
+def test_property_monoid_associative(a, b, c, name):
+    op = MONOIDS[name].op
+    left = op(op(a, b), c)
+    right = op(a, op(b, c))
+    assert np.isclose(left, right, rtol=1e-9, atol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite, st.booleans(), st.sampled_from(list(MONOIDS)))
+def test_property_monoid_identity(a, boolean, name):
+    monoid = MONOIDS[name]
+    if name in ("lor", "land"):
+        # Logical monoids are only identity-preserving over {0, 1}.
+        a = float(boolean)
+    assert np.isclose(monoid.op(a, monoid.identity), a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite, finite, st.sampled_from(["plus", "min", "max", "lor", "land", "times"]))
+def test_property_monoid_commutative(a, b, name):
+    op = MONOIDS[name].op
+    assert np.isclose(op(a, b), op(b, a), equal_nan=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(finite, min_size=0, max_size=20),
+    st.sampled_from(["plus", "min", "max", "lor"]),
+)
+def test_property_segment_reduce_matches_reduce(values, name):
+    monoid = MONOIDS[name]
+    arr = np.asarray(values, dtype=np.float64)
+    out = monoid.segment_reduce(arr, np.zeros(arr.size, dtype=np.int64), 1)
+    assert np.isclose(out[0], monoid.reduce(arr), rtol=1e-9, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite, finite, finite)
+def test_property_mul_distributes_over_add_mul_add(a, b, c):
+    # a * (b + c) == a*b + a*c — the semiring law OEI fusion relies on.
+    left = MUL_ADD.mul(a, MUL_ADD.add.op(b, c))
+    right = MUL_ADD.add.op(MUL_ADD.mul(a, b), MUL_ADD.mul(a, c))
+    assert np.isclose(left, right, rtol=1e-9, atol=1e-3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite, finite, finite)
+def test_property_min_add_distributivity(a, b, c):
+    # a + min(b, c) == min(a+b, a+c) — tropical semiring law.
+    left = MIN_ADD.mul(a, MIN_ADD.add.op(b, c))
+    right = MIN_ADD.add.op(MIN_ADD.mul(a, b), MIN_ADD.mul(a, c))
+    assert np.isclose(left, right)

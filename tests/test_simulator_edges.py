@@ -1,0 +1,137 @@
+"""Edge-case and robustness tests for the Sparsepipe simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import SparsepipeConfig
+from repro.arch.loaders import LoadPlan
+from repro.arch.profile import WorkloadProfile
+from repro.arch.simulator import SparsepipeSimulator
+from repro.formats.coo import COOMatrix
+from tests.conftest import random_coo
+
+
+def profile(**overrides):
+    base = dict(
+        name="t", semiring_name="mul_add", has_oei=True, n_iterations=4,
+        path_ewise_ops=1,
+    )
+    base.update(overrides)
+    return WorkloadProfile(**base)
+
+
+class TestDegenerateInputs:
+    def test_empty_matrix(self):
+        coo = COOMatrix.empty((20, 20))
+        result = SparsepipeSimulator(SparsepipeConfig(subtensor_cols=8)).run(
+            profile(), coo
+        )
+        assert result.cycles > 0          # steps + fill latency still pass
+        assert result.traffic.matrix_bytes == 0.0
+
+    def test_subtensor_wider_than_matrix(self):
+        coo = random_coo(1, n=20)
+        result = SparsepipeSimulator(SparsepipeConfig(subtensor_cols=512)).run(
+            profile(), coo
+        )
+        assert result.cycles > 0
+
+    def test_single_iteration_oei_runs_stream_pass(self):
+        coo = random_coo(2, n=30)
+        result = SparsepipeSimulator(SparsepipeConfig(subtensor_cols=8)).run(
+            profile(n_iterations=1), coo
+        )
+        plan = LoadPlan.from_matrix(coo, 8)
+        assert result.traffic.matrix_bytes == pytest.approx(
+            plan.matrix_stream_bytes
+        )
+
+    def test_zero_activity_iterations(self):
+        coo = random_coo(3, n=30)
+        result = SparsepipeSimulator(SparsepipeConfig(subtensor_cols=8)).run(
+            profile(activity=(0.0, 0.0, 0.0, 0.0)), coo
+        )
+        # Matrix still streams (structure traffic); vectors collapse.
+        assert result.traffic.matrix_bytes > 0
+        assert result.traffic.bytes_by_category["vector"] == 0.0
+
+    def test_single_column_matrix(self):
+        coo = COOMatrix((1, 1), np.array([0]), np.array([0]), np.array([2.0]))
+        result = SparsepipeSimulator(SparsepipeConfig(subtensor_cols=4)).run(
+            profile(), coo
+        )
+        assert result.cycles > 0
+
+
+class TestFeatureDim:
+    def test_feature_dim_scales_vector_traffic(self):
+        coo = random_coo(4, n=40)
+        narrow = SparsepipeSimulator(SparsepipeConfig(subtensor_cols=8)).run(
+            profile(feature_dim=1), coo
+        )
+        wide = SparsepipeSimulator(SparsepipeConfig(subtensor_cols=8)).run(
+            profile(feature_dim=8), coo
+        )
+        assert wide.traffic.bytes_by_category["vector"] == pytest.approx(
+            8 * narrow.traffic.bytes_by_category["vector"]
+        )
+        # Matrix traffic is feature-independent.
+        assert wide.traffic.matrix_bytes == pytest.approx(narrow.traffic.matrix_bytes)
+
+    def test_extra_ops_can_make_compute_bound(self):
+        coo = random_coo(5, n=40)
+        light = SparsepipeSimulator(SparsepipeConfig(subtensor_cols=8)).run(
+            profile(), coo
+        )
+        heavy = SparsepipeSimulator(SparsepipeConfig(subtensor_cols=8)).run(
+            profile(extra_ops_per_iteration=1e7), coo
+        )
+        assert heavy.cycles > light.cycles
+        assert heavy.bandwidth_utilization < light.bandwidth_utilization
+
+
+class TestPipelineFill:
+    def test_fill_latency_charged_once_per_pair(self):
+        coo = random_coo(6, n=40)
+        cfg = SparsepipeConfig(subtensor_cols=8)
+        two = SparsepipeSimulator(cfg).run(profile(n_iterations=2), coo)
+        four = SparsepipeSimulator(cfg).run(profile(n_iterations=4), coo)
+        # Doubling the pairs doubles everything including fill latency.
+        assert four.cycles == pytest.approx(2 * two.cycles, rel=1e-9)
+
+    def test_clock_scaling(self):
+        coo = random_coo(7, n=40)
+        slow = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=8, clock_ghz=1.0)
+        ).run(profile(), coo)
+        fast = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=8, clock_ghz=2.0)
+        ).run(profile(), coo)
+        # A faster clock never hurts wall-clock; memory-bound portions
+        # need more cycles at the same bandwidth.
+        assert fast.seconds <= slow.seconds
+        assert fast.cycles >= slow.cycles
+
+
+class TestBufferInteraction:
+    def test_tiny_buffer_still_completes(self):
+        coo = random_coo(8, n=60, density=0.3)
+        result = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=4, buffer_bytes=4096)
+        ).run(profile(n_iterations=6), coo)
+        assert result.n_iterations == 6
+        # Heavy eviction, but the run finishes and accounts reloads.
+        assert result.traffic.bytes_by_category["csr_reload"] >= 0
+
+    def test_csr_window_fraction_changes_pressure(self):
+        coo = COOMatrix.from_dense(np.tril(np.ones((80, 80)), k=-1))
+        cap = 20 * 1024
+        small_window = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=8, buffer_bytes=cap,
+                             csr_window_fraction=0.25)
+        ).run(profile(), coo)
+        big_window = SparsepipeSimulator(
+            SparsepipeConfig(subtensor_cols=8, buffer_bytes=cap,
+                             csr_window_fraction=1.0)
+        ).run(profile(), coo)
+        assert small_window.oom_evicted_bytes >= big_window.oom_evicted_bytes

@@ -1,0 +1,96 @@
+"""Tests for the design-space sweep and the pipeline renderer."""
+
+import pytest
+
+from repro.arch.config import SparsepipeConfig
+from repro.arch.pipeline_viz import render_pipeline
+from repro.arch.profile import WorkloadProfile
+from repro.arch.sweep import ConfigSweep, SweepPoint
+from repro.errors import ConfigError
+from repro.matrices import banded_mesh
+from repro.preprocess import preprocess
+
+
+@pytest.fixture(scope="module")
+def prep():
+    return preprocess(banded_mesh(300, 10, 2500, seed=6), reorder=None, block_size=None)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return WorkloadProfile(
+        name="pr", semiring_name="mul_add", has_oei=True, n_iterations=8,
+        path_ewise_ops=2,
+    )
+
+
+class TestConfigSweep:
+    def test_grid_evaluates_all_combinations(self, prep, profile):
+        sweep = ConfigSweep(SparsepipeConfig(subtensor_cols=32))
+        points = sweep.run(
+            profile, prep,
+            {"buffer_bytes": [64 * 1024, 256 * 1024], "pes_per_core": [256, 1024]},
+        )
+        assert len(points) == 4
+        assert len({(p.config.buffer_bytes, p.config.pes_per_core) for p in points}) == 4
+
+    def test_unknown_field_rejected(self, prep, profile):
+        with pytest.raises(ConfigError):
+            ConfigSweep().run(profile, prep, {"warp_size": [32]})
+
+    def test_empty_grid_rejected(self, prep, profile):
+        with pytest.raises(ConfigError):
+            ConfigSweep().run(profile, prep, {})
+
+    def test_area_grows_with_pes(self, prep, profile):
+        sweep = ConfigSweep(SparsepipeConfig(subtensor_cols=32, buffer_bytes=64 * 1024))
+        points = sweep.run(profile, prep, {"pes_per_core": [128, 2048]})
+        by_pes = {p.config.pes_per_core: p for p in points}
+        assert by_pes[2048].area_mm2 > by_pes[128].area_mm2
+
+    def test_pareto_frontier_is_nondominated(self, prep, profile):
+        sweep = ConfigSweep(SparsepipeConfig(subtensor_cols=32))
+        points = sweep.run(
+            profile, prep,
+            {"buffer_bytes": [16 * 1024, 64 * 1024, 512 * 1024],
+             "pes_per_core": [128, 1024]},
+        )
+        frontier = ConfigSweep.pareto_frontier(points)
+        assert frontier
+        for p in frontier:
+            assert not any(q.dominates(p) for q in points)
+        # Frontier sorted by cycles.
+        cycles = [p.cycles for p in frontier]
+        assert cycles == sorted(cycles)
+
+    def test_dominance_definition(self, prep, profile):
+        sweep = ConfigSweep(SparsepipeConfig(subtensor_cols=32))
+        points = sweep.run(profile, prep, {"buffer_bytes": [64 * 1024]})
+        p = points[0]
+        assert not p.dominates(p)  # strict dominance
+
+
+class TestPipelineViz:
+    def test_contains_all_stages(self):
+        text = render_pipeline(100, 16)
+        for stage in ("csc load", "os", "e-wise", "is"):
+            assert stage in text
+
+    def test_stage_skew_visible(self):
+        text = render_pipeline(64, 16, max_steps=6)
+        lines = {
+            line.split()[0]: line for line in text.splitlines()[2:]
+        }
+        # At step 0: loader on sub-tensor 1, OS on 0, others idle.
+        assert lines["os"].split()[1] == "0"
+        assert lines["e-wise"].split()[1] == "."
+        assert lines["is"].split()[1] == "."
+        assert lines["csc"].split()[2] == "1"
+
+    def test_truncation_notice(self):
+        text = render_pipeline(10_000, 16, max_steps=8)
+        assert "steps total" in text
+
+    def test_small_matrix_fits(self):
+        text = render_pipeline(8, 16)
+        assert "0" in text

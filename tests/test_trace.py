@@ -1,0 +1,147 @@
+"""Tests for the tracing frontend: OEI discovery from executed
+GraphBLAS-mini code, with values checked against untraced execution."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import compile_program, find_oei_path
+from repro.dataflow.trace import Tracer
+from repro.errors import CompileError
+from repro.graphblas import Matrix, Vector, vxm
+from repro.semiring import (
+    MIN,
+    MIN_ADD,
+    MUL_ADD,
+    PLUS,
+    PLUS_MONOID,
+    TIMES,
+)
+from tests.conftest import random_coo
+
+
+@pytest.fixture
+def graph_matrix():
+    return Matrix(random_coo(21, n=40, density=0.15))
+
+
+def trace_pagerank(matrix: Matrix):
+    n = matrix.nrows
+    tracer = Tracer("traced_pr")
+    pr = tracer.source("pr", Vector.dense(n, 1.0 / n))
+    link = tracer.constant_matrix("L", matrix)
+    y = tracer.vxm(pr, link, MUL_ADD)
+    scaled = tracer.apply_bind(y, TIMES, 0.85)
+    new = tracer.apply_scalar(scaled, PLUS, "teleport", 0.15 / n)
+    tracer.carry(new, pr)
+    return tracer, new
+
+
+def trace_cg_step(matrix: Matrix):
+    """CG-shaped body: alpha reduces the fresh vxm output."""
+    n = matrix.nrows
+    tracer = Tracer("traced_cg")
+    p = tracer.source("p", Vector.dense(n, 1.0))
+    m = tracer.constant_matrix("M", matrix)
+    q = tracer.vxm(p, m, MUL_ADD)
+    alpha = tracer.dot(p, q, MUL_ADD, scalar_name="alpha")
+    ap = tracer.apply_scalar(p, TIMES, "alpha", alpha.value)
+    x = tracer.source("x", Vector.dense(n, 0.0))
+    x_new = tracer.ewise(PLUS, x, ap)
+    tracer.carry(x_new, x)
+    # p update through the alpha-scaled q: blocked scalar dependency.
+    aq = tracer.apply_scalar(q, TIMES, "alpha", alpha.value)
+    p_new = tracer.ewise(PLUS, x_new, aq)
+    tracer.carry(p_new, p)
+    return tracer
+
+
+class TestTracedValues:
+    def test_traced_pagerank_executes_correctly(self, graph_matrix):
+        _, new = trace_pagerank(graph_matrix)
+        n = graph_matrix.nrows
+        expected = vxm(Vector.dense(n, 1.0 / n), graph_matrix, MUL_ADD)
+        expected_dense = 0.85 * expected.to_dense() + 0.15 / n
+        got = new.value.to_dense(fill=np.nan)
+        present = new.value.present
+        assert np.allclose(got[present], expected_dense[present])
+
+    def test_traced_ewise_mult_and_reduce(self, graph_matrix):
+        n = graph_matrix.nrows
+        tracer = Tracer("t")
+        a = tracer.source("a", Vector.dense(n, 2.0))
+        b = tracer.source("b", Vector.dense(n, 3.0))
+        prod = tracer.ewise_mult(TIMES, a, b)
+        total = tracer.reduce(prod, PLUS_MONOID)
+        assert total.value == pytest.approx(6.0 * n)
+
+    def test_traced_min_add_vxm(self, graph_matrix):
+        n = graph_matrix.nrows
+        tracer = Tracer("t")
+        dist = tracer.source("dist", Vector.dense(n, 0.0))
+        m = tracer.constant_matrix("A", graph_matrix)
+        relaxed = tracer.vxm(dist, m, MIN_ADD)
+        reference = vxm(Vector.dense(n, 0.0), graph_matrix, MIN_ADD)
+        assert relaxed.value.isclose(reference)
+
+
+class TestTracedCompilation:
+    def test_pagerank_trace_discovers_oei(self, graph_matrix):
+        tracer, _ = trace_pagerank(graph_matrix)
+        path = find_oei_path(tracer.graph)
+        assert path is not None
+        assert path.iteration_distance == 1
+        program = compile_program(tracer.graph)
+        assert program.has_oei
+        assert program.semiring_name == "mul_add"
+        assert program.n_path_ops == 2
+        assert program.scalar_names == ("teleport",)
+
+    def test_traced_program_runs_elementwise(self, graph_matrix):
+        tracer, _ = trace_pagerank(graph_matrix)
+        program = compile_program(tracer.graph)
+        out = program.run_elementwise(
+            np.array([1.0, 2.0]), np.array([0, 1]), {}, {"teleport": 0.1}
+        )
+        assert np.allclose(out, 0.85 * np.array([1.0, 2.0]) + 0.1)
+
+    def test_cg_trace_has_no_oei(self, graph_matrix):
+        tracer = trace_cg_step(graph_matrix)
+        assert find_oei_path(tracer.graph) is None
+        program = compile_program(tracer.graph)
+        assert not program.has_oei
+
+    def test_varying_matrix_blocks_reuse(self, graph_matrix):
+        n = graph_matrix.nrows
+        tracer = Tracer("t")
+        v = tracer.source("v", Vector.dense(n, 1.0))
+        m = tracer.varying_matrix("M", graph_matrix)
+        out = tracer.vxm(v, m, MUL_ADD)
+        tracer.carry(out, v)
+        assert find_oei_path(tracer.graph) is None
+
+    def test_two_hop_trace_fuses_within_iteration(self, graph_matrix):
+        from repro.semiring import AND_OR
+
+        n = graph_matrix.nrows
+        tracer = Tracer("t")
+        f = tracer.source("f", Vector.from_entries(n, [0], [1.0]))
+        m = tracer.constant_matrix("A", graph_matrix)
+        hop1 = tracer.vxm(f, m, AND_OR)
+        hop2 = tracer.vxm(hop1, m, AND_OR)
+        tracer.carry(hop2, f)
+        path = find_oei_path(tracer.graph)
+        assert path is not None
+        assert path.iteration_distance == 0
+
+    def test_self_carry_rejected(self, graph_matrix):
+        tracer = Tracer("t")
+        v = tracer.source("v", Vector.dense(graph_matrix.nrows, 1.0))
+        with pytest.raises(CompileError):
+            tracer.carry(v, v)
+
+    def test_generated_names_unique(self, graph_matrix):
+        tracer, _ = trace_pagerank(graph_matrix)
+        names = [op.name for op in tracer.graph.ops]
+        assert len(names) == len(set(names))
+        tensors = list(tracer.graph.tensors)
+        assert len(tensors) == len(set(tensors))
