@@ -1,11 +1,16 @@
 """Whole-evaluation summary: every Section VI headline claim."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import is_full_sweep, run_once
 from repro.experiments import summary
 
 
 def test_summary_all_claims_hold(benchmark, context):
     claims = run_once(benchmark, summary.run, context)
     summary.main(context)
+    if not is_full_sweep():
+        # Subset smoke run: the paper's bands only apply to the full
+        # (workload x matrix) sweep; just check the pipeline runs.
+        assert claims
+        return
     failing = [c.claim for c in claims if not c.holds]
     assert not failing, f"claims outside the paper's bands: {failing}"

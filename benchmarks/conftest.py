@@ -3,18 +3,44 @@
 One :class:`ExperimentContext` is shared across all benches so the
 (workload x matrix x architecture) sweep is computed once; each bench
 then times and prints its own table/figure.
+
+The sweep can be subset for smoke runs (CI) via environment variables:
+``REPRO_BENCH_WORKLOADS=pr,sssp REPRO_BENCH_MATRICES=gy,ro``. Benches
+that assert the paper's headline claims only do so on the full sweep —
+the bands are meaningless on a subset.
 """
 
 from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
 
 import pytest
 
 from repro.experiments.runner import ExperimentContext
 
 
+def _env_subset(name: str) -> Optional[Tuple[str, ...]]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def is_full_sweep() -> bool:
+    """True when no env-var subsetting is active (claims may be asserted)."""
+    return (
+        _env_subset("REPRO_BENCH_WORKLOADS") is None
+        and _env_subset("REPRO_BENCH_MATRICES") is None
+    )
+
+
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
-    return ExperimentContext()
+    return ExperimentContext(
+        workloads=_env_subset("REPRO_BENCH_WORKLOADS"),
+        matrices=_env_subset("REPRO_BENCH_MATRICES"),
+    )
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -7,6 +7,10 @@ Commands
 - ``simulate -w pr -m wi``      — one (workload, matrix) on all archs
 - ``analyze <matrix.mtx>``      — Table-I reuse analysis of a file
 - ``footprint``                 — Table I over the built-in suite
+
+``--jobs N`` fans sweeps out over N worker processes; ``--cache DIR``
+persists simulation results on disk so reruns skip straight to the
+tables.
 """
 
 from __future__ import annotations
@@ -15,12 +19,20 @@ import argparse
 import sys
 from typing import List
 
-from repro.experiments.runner import ARCHITECTURES, ExperimentContext
+from repro.engine.registry import arch_names, get_arch
+from repro.experiments.runner import ExperimentContext
 
 _EXPERIMENTS = (
     "table1", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
     "fig20", "fig21", "fig22", "fig23",
 )
+
+
+def _make_context(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext(
+        cache_dir=getattr(args, "cache", None),
+        max_workers=getattr(args, "jobs", None),
+    )
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -37,8 +49,10 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         spec = SUITE[name]
         print(f"  {name:3} {spec.structure:28} paper {spec.paper_rows} rows / "
               f"{spec.paper_nnz} nnz")
-    print(f"\narchitectures: {', '.join(ARCHITECTURES)}")
-    print(f"experiments: {', '.join(_EXPERIMENTS)}")
+    print("\narchitectures:")
+    for name in arch_names():
+        print(f"  {name:12} {get_arch(name).description}")
+    print(f"\nexperiments: {', '.join(_EXPERIMENTS)}")
     return 0
 
 
@@ -51,13 +65,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {unknown}; available: {_EXPERIMENTS}",
               file=sys.stderr)
         return 2
-    context = ExperimentContext()
+    context = _make_context(args)
     for exp_id in ids:
         module = importlib.import_module(f"repro.experiments.{exp_id}")
-        if exp_id == "table1":
-            module.main()
-        else:
-            module.main(context)
+        module.main(context)
         print()
     return 0
 
@@ -65,10 +76,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.experiments.report import format_table
 
-    context = ExperimentContext()
+    context = _make_context(args)
+    results = context.simulate_many(
+        [(arch, args.workload, args.matrix) for arch in args.arch]
+    )
     rows = []
-    for arch in args.arch:
-        result = context.simulate(arch, args.workload, args.matrix)
+    for arch, result in zip(args.arch, results):
         rows.append(
             (arch, f"{result.seconds * 1e6:.2f}", round(result.cycles),
              f"{result.bandwidth_utilization:.0%}",
@@ -102,19 +115,30 @@ def _cmd_footprint(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_summary(_args: argparse.Namespace) -> int:
+def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.experiments import summary
 
-    summary.main(ExperimentContext())
+    summary.main(_make_context(args))
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments.export import export_all
 
-    path = export_all(args.path, ExperimentContext())
+    path = export_all(args.path, _make_context(args))
     print(f"wrote {path}")
     return 0
+
+
+def _add_context_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="simulate on N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="persist simulation results under DIR (e.g. .repro_cache)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,20 +152,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run experiment drivers")
     p_exp.add_argument("ids", nargs="+",
                        help=f"experiment ids ({', '.join(_EXPERIMENTS)}, or 'all')")
+    _add_context_flags(p_exp)
 
     p_sim = sub.add_parser("simulate", help="simulate one (workload, matrix)")
     p_sim.add_argument("-w", "--workload", required=True)
     p_sim.add_argument("-m", "--matrix", required=True)
-    p_sim.add_argument("-a", "--arch", nargs="+", default=list(ARCHITECTURES))
+    p_sim.add_argument("-a", "--arch", nargs="+", default=list(arch_names()))
+    _add_context_flags(p_sim)
 
     p_an = sub.add_parser("analyze", help="Table-I analysis of a MatrixMarket file")
     p_an.add_argument("path")
 
     sub.add_parser("footprint", help="Table I over the built-in suite")
-    sub.add_parser("summary", help="all Section VI headline claims, paper vs measured")
+    p_sum = sub.add_parser(
+        "summary", help="all Section VI headline claims, paper vs measured"
+    )
+    _add_context_flags(p_sum)
 
     p_ex = sub.add_parser("export", help="run everything and write results as JSON")
     p_ex.add_argument("path", help="output JSON path")
+    _add_context_flags(p_ex)
     return parser
 
 

@@ -15,8 +15,8 @@ from typing import Optional, Sequence, Tuple, Union
 
 from repro.arch.config import SparsepipeConfig
 from repro.arch.profile import WorkloadProfile
-from repro.arch.simulator import SparsepipeSimulator
 from repro.arch.stats import SimResult
+from repro.engine.registry import create_engine
 from repro.errors import ConfigError
 from repro.formats.coo import COOMatrix
 from repro.preprocess.pipeline import PreprocessResult
@@ -32,13 +32,16 @@ def autotune_subtensor_cols(
     candidates: Sequence[int] = DEFAULT_CANDIDATES,
     paper_nnz: Optional[int] = None,
     probe_iterations: int = 2,
+    arch: str = "sparsepipe",
 ) -> Tuple[int, SimResult]:
     """Pick the fastest sub-tensor width by probing one OEI pair.
 
     Returns ``(best_width, full_run_result_at_best_width)``. The probe
     charges only ``probe_iterations`` iterations per candidate, so the
     exploration cost stays a small fraction of the full run — exactly
-    the paper's "initial steps" budget.
+    the paper's "initial steps" budget. ``arch`` dispatches through
+    the architecture registry, so any registered config-taking engine
+    can be tuned the same way.
     """
     if not candidates:
         raise ConfigError("autotuning needs at least one candidate width")
@@ -53,14 +56,14 @@ def autotune_subtensor_cols(
         if width <= 0:
             raise ConfigError(f"sub-tensor width must be positive, got {width}")
         probe_config = replace(config, subtensor_cols=int(width))
-        probe = SparsepipeSimulator(probe_config).run(
+        probe = create_engine(arch, probe_config).run(
             probe_profile, matrix, paper_nnz=paper_nnz
         )
         if best_cycles is None or probe.cycles < best_cycles:
             best_cycles = probe.cycles
             best_width = int(width)
     final_config = replace(config, subtensor_cols=best_width)
-    result = SparsepipeSimulator(final_config).run(
+    result = create_engine(arch, final_config).run(
         profile, matrix, paper_nnz=paper_nnz
     )
     return best_width, result

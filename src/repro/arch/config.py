@@ -15,7 +15,9 @@ depends on — matches the paper exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.errors import ConfigError
@@ -107,6 +109,18 @@ class SparsepipeConfig:
     @property
     def read_latency_cycles(self) -> int:
         return max(1, round(self.memory.read_latency_ns * self.clock_ghz))
+
+    def cache_key(self) -> str:
+        """Deterministic content hash of every configuration field.
+
+        Equal-valued configs — including the nested
+        :class:`MemoryConfig` — produce equal keys across processes
+        and interpreter runs (unlike ``hash()``/``id()``), so this is
+        the key the experiment caches and the on-disk result cache
+        share.
+        """
+        doc = json.dumps(asdict(self), sort_keys=True, default=float)
+        return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
 
     def with_memory(self, memory: MemoryConfig) -> "SparsepipeConfig":
         """The iso-CPU / iso-GPU variants of Table II."""

@@ -4,12 +4,20 @@
 stage touches which sub-tensor at each step: the CSC loader one step
 ahead of the OS stage, the e-wise stage one behind, the IS stage two
 behind. Useful in docs and for eyeballing schedule changes.
+
+:class:`PipelineActivityObserver` is the *measured* counterpart: it
+plugs into :meth:`SparsepipeSimulator.run
+<repro.arch.simulator.SparsepipeSimulator.run>` as an instrumentation
+observer and records which component bound each simulated step, so
+``render_bottlenecks`` shows where the lock-step pipeline actually
+spent its time rather than the nominal schedule.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
+from repro.engine.instrumentation import FILL_STEP, Observer
 from repro.oei.schedule import OEISchedule
 
 #: Row order of the rendering, matching Fig 13 top-to-bottom.
@@ -48,3 +56,57 @@ def render_pipeline(n: int, subtensor_cols: int, max_steps: int = 12) -> str:
     if schedule.n_steps + 1 > max_steps:
         lines.append(f"... ({schedule.n_steps} steps total)")
     return "\n".join(lines)
+
+
+class PipelineActivityObserver(Observer):
+    """Records per-step component timings from a live simulation.
+
+    Register with ``SparsepipeSimulator(...).run(..., observers=[obs])``;
+    afterwards ``bottlenecks()`` names the slowest component of each
+    step and ``render_bottlenecks()`` draws the lock-step occupancy as
+    ASCII (``#`` where a component set the step's duration, ``+`` where
+    it was within 10% of it).
+    """
+
+    def __init__(self) -> None:
+        #: (step index, step cycles, component -> cycles)
+        self.steps: List[Tuple[int, float, Dict[str, float]]] = []
+
+    def on_step(self, step, cycles, moved, stage_cycles=None) -> None:
+        if step == FILL_STEP or stage_cycles is None:
+            return
+        self.steps.append((step, cycles, dict(stage_cycles)))
+
+    def bottlenecks(self) -> List[str]:
+        """The slowest component per recorded step (``overhead`` when
+        the fixed step overhead set the duration)."""
+        out = []
+        for _, cycles, stages in self.steps:
+            name, worst = max(stages.items(), key=lambda kv: kv[1])
+            out.append(name if worst >= cycles else "overhead")
+        return out
+
+    def render_bottlenecks(self, max_steps: int = 16) -> str:
+        """ASCII occupancy chart of the measured pipeline steps."""
+        if not self.steps:
+            return "(no steps recorded)"
+        shown = self.steps[:max_steps]
+        components = sorted({c for _, _, stages in shown for c in stages})
+        header = "step      " + " ".join(
+            f"{s:>3}" for s, _, _ in shown
+        )
+        lines = [header, "-" * len(header)]
+        for comp in components:
+            cells = []
+            for _, cycles, stages in shown:
+                v = stages.get(comp, 0.0)
+                if v >= cycles:
+                    cells.append("  #")
+                elif cycles > 0 and v >= 0.9 * cycles:
+                    cells.append("  +")
+                else:
+                    cells.append("  .")
+            lines.append(f"{comp:<9} " + " ".join(cells))
+        if len(self.steps) > max_steps:
+            lines.append(f"... ({len(self.steps)} steps total)")
+        return "\n".join(lines)

@@ -6,13 +6,22 @@ when the compiled program allows it; each pair is simulated step by
 step: the CSC loader, e-wise vector loader, OS/E-Wise/IS cores, eager
 CSR prefetcher, and the on-chip buffer all charge cycles and bytes per
 sub-tensor step, and the step's duration is the slowest of them (the
-pipeline advances in lock-step, Fig 13). Workloads without an OEI path
+pipeline advances in lock-step, Fig 13).  Workloads without an OEI path
 (cg, bgs) run producer-consumer-fused single passes.
+
+Instrumentation is pluggable: pass ``observers`` to receive the
+step / transfer / evict / repack / prefetch event stream
+(:mod:`repro.engine.instrumentation`).  The default (``observers=None``)
+registers one :class:`~repro.engine.instrumentation.StepTraceObserver`
+so the returned :class:`SimResult` carries Fig 15's bandwidth samples
+exactly as before; pass ``observers=()`` for the zero-observer fast
+path (no per-step recording, ``bandwidth_samples=[]``) when only the
+aggregate numbers matter — sweeps and autotuning, for instance.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.arch.buffer import OnChipBuffer
 from repro.arch.config import (
@@ -24,7 +33,14 @@ from repro.arch.cores import ComputePipeline
 from repro.arch.loaders import EagerPrefetcher, LoadPlan
 from repro.arch.memory import MemoryController
 from repro.arch.profile import WorkloadProfile
-from repro.arch.stats import SimResult, StepTrace
+from repro.arch.stats import SimResult
+from repro.engine.instrumentation import (
+    FILL_STEP,
+    Instrumentation,
+    Observer,
+    StepTraceObserver,
+)
+from repro.engine.registry import register_arch
 from repro.formats.coo import COOMatrix
 from repro.preprocess.pipeline import PreprocessResult
 
@@ -32,6 +48,11 @@ from repro.preprocess.pipeline import PreprocessResult
 VECTOR_ELEMENT_BYTES = 8.0
 
 
+@register_arch(
+    "sparsepipe",
+    takes_config=True,
+    description="the Sparsepipe OEI pipeline simulator (Sections IV-V)",
+)
 class SparsepipeSimulator:
     """Simulates one Sparsepipe instance over (workload, matrix) pairs."""
 
@@ -39,27 +60,43 @@ class SparsepipeSimulator:
         self.config = config
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Engine protocol
     # ------------------------------------------------------------------
+    def prepare(
+        self, profile: WorkloadProfile, matrix: Union[COOMatrix, PreprocessResult]
+    ) -> LoadPlan:
+        """Structure-derived load plan for this config's sub-tensor
+        width (the Engine protocol's warm-up hook)."""
+        return LoadPlan.from_matrix(matrix, self.config.subtensor_cols)
+
     def run(
         self,
         profile: WorkloadProfile,
         matrix: Union[COOMatrix, PreprocessResult],
         paper_nnz: Optional[int] = None,
+        observers: Optional[Sequence[Observer]] = None,
     ) -> SimResult:
         """Simulate the full application run.
 
         ``paper_nnz`` enables per-matrix buffer scaling (DESIGN.md):
         the buffer capacity keeps the paper's buffer-to-matrix ratio.
+        ``observers`` receive the simulator's event stream; ``None``
+        attaches the default step-trace observer, ``()`` disables
+        instrumentation entirely (fast path, no bandwidth samples).
         """
         config = self.config
-        plan = LoadPlan.from_matrix(matrix, config.subtensor_cols)
+        plan = self.prepare(profile, matrix)
         if config.buffer_bytes is not None:
             capacity = config.buffer_bytes
         elif paper_nnz is not None:
             capacity = scaled_buffer_bytes(plan.total_nnz, paper_nnz)
         else:
             capacity = PAPER_BUFFER_BYTES
+
+        if observers is None:
+            instr = Instrumentation((StepTraceObserver(),))
+        else:
+            instr = Instrumentation(observers)
 
         memory = MemoryController(
             config, burst_hints=self._burst_hints(plan, profile)
@@ -71,30 +108,33 @@ class SparsepipeSimulator:
             element_bytes=plan.element_bytes,
             repack_threshold=config.repack_threshold,
         )
-        trace = StepTrace()
         state = _RunState()
 
         k = 0
         while k < profile.n_iterations:
             if profile.has_oei and k + 1 < profile.n_iterations:
-                self._simulate_pair(plan, profile, k, memory, cores, buffer, trace, state)
+                self._simulate_pair(plan, profile, k, memory, cores, buffer, instr, state)
                 k += 2
             else:
-                self._simulate_stream(plan, profile, k, memory, cores, trace, state)
+                self._simulate_stream(plan, profile, k, memory, cores, instr, state)
                 k += 1
 
-        cycles = sum(trace.cycles)
+        cycles = state.cycles
         seconds = config.seconds(cycles)
         total_bytes = memory.traffic.total_bytes
         deliverable = cycles * config.bytes_per_cycle
         scatter_updates = state.is_ops * 2 * VECTOR_ELEMENT_BYTES
+        trace_obs = instr.find(StepTraceObserver)
+        samples = (
+            trace_obs.samples(config.bytes_per_cycle) if trace_obs is not None else []
+        )
         return SimResult(
             name=profile.name,
             cycles=cycles,
             seconds=seconds,
             traffic=memory.traffic,
             bandwidth_utilization=min(1.0, total_bytes / deliverable) if deliverable else 0.0,
-            bandwidth_samples=trace.samples(config.bytes_per_cycle),
+            bandwidth_samples=samples,
             compute_ops=state.compute_ops,
             buffer_peak_bytes=buffer.peak_bytes,
             oom_evicted_bytes=buffer.evicted_bytes,
@@ -136,7 +176,7 @@ class SparsepipeSimulator:
         memory: MemoryController,
         cores: ComputePipeline,
         buffer: OnChipBuffer,
-        trace: StepTrace,
+        instr: Instrumentation,
         state: "_RunState",
     ) -> None:
         config = self.config
@@ -194,6 +234,8 @@ class SparsepipeSimulator:
             leftover = step_cycles * achievable - demand
             prefetched = prefetcher.prefetch(s, leftover, buffer.slack_bytes())
             buffer.prefetch_resident_bytes += prefetched
+            if instr and prefetched:
+                instr.prefetch(s, prefetched)
 
             # --- account --------------------------------------------
             moved["csc"] = csc_due
@@ -204,14 +246,28 @@ class SparsepipeSimulator:
             for cat, val in moved.items():
                 if val:
                     memory.transfer(cat, val)
+                    if instr:
+                        instr.transfer(cat, val)
 
             # --- reuse-window transitions ----------------------------
             if s < plan.n_subtensors:
                 buffer.admit(plan.enter_counts[s])
+            repacks_before = buffer.repack_events
             buffer.release(s)
-            buffer.enforce_capacity(s)
+            evicted = buffer.enforce_capacity(s)
+            if instr:
+                if evicted:
+                    instr.evict(s, evicted)
+                if buffer.repack_events > repacks_before:
+                    instr.repack(s)
 
-            trace.record(step_cycles, moved)
+            state.cycles += step_cycles
+            if instr:
+                instr.step(
+                    s, step_cycles, moved,
+                    {"os": os_c, "ewise": ew_c, "is": is_c,
+                     "extra": extra_c, "memory": mem_c},
+                )
             state.compute_ops += (
                 plan.os_nnz[s] * act1 * f if s < plan.n_subtensors else 0.0
             )
@@ -221,7 +277,10 @@ class SparsepipeSimulator:
         buffer.drain_check()
         # Pipeline fill: the first DRAM access and the adder-tree drain
         # are exposed once per pair (hidden in steady state).
-        trace.record(float(config.read_latency_cycles + cores.tree_depth), {})
+        fill = float(config.read_latency_cycles + cores.tree_depth)
+        state.cycles += fill
+        if instr:
+            instr.step(FILL_STEP, fill, {})
 
     # ------------------------------------------------------------------
     # Single streamed iteration (odd tail, or non-OEI workloads)
@@ -233,7 +292,7 @@ class SparsepipeSimulator:
         k: int,
         memory: MemoryController,
         cores: ComputePipeline,
-        trace: StepTrace,
+        instr: Instrumentation,
         state: "_RunState",
     ) -> None:
         """One producer-consumer-fused pass: the matrix streams once,
@@ -269,16 +328,27 @@ class SparsepipeSimulator:
             for cat, val in moved.items():
                 if val:
                     memory.transfer(cat, val)
-            trace.record(step_cycles, moved)
+                    if instr:
+                        instr.transfer(cat, val)
+            state.cycles += step_cycles
+            if instr:
+                instr.step(
+                    t, step_cycles, moved,
+                    {"os": os_c, "ewise": ew_c, "extra": extra_c, "memory": mem_c},
+                )
             state.compute_ops += (
                 plan.os_nnz[t] * act * f + w * act * n_ops * f + extra_ops_share
             )
-        trace.record(float(config.read_latency_cycles + cores.tree_depth), {})
+        fill = float(config.read_latency_cycles + cores.tree_depth)
+        state.cycles += fill
+        if instr:
+            instr.step(FILL_STEP, fill, {})
 
 
 class _RunState:
     """Mutable accumulators shared across pairs within one run."""
 
     def __init__(self) -> None:
+        self.cycles = 0.0
         self.compute_ops = 0.0
         self.is_ops = 0.0

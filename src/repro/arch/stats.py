@@ -131,3 +131,70 @@ class SimResult:
         if self.seconds <= 0:
             raise ValueError(f"non-positive runtime for {self.name!r}")
         return other.seconds / self.seconds
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (the on-disk result cache's wire format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation; ``from_dict`` inverts it exactly
+        (floats survive JSON round-trips bit-for-bit in Python 3)."""
+        return {
+            "name": self.name,
+            "cycles": float(self.cycles),
+            "seconds": float(self.seconds),
+            "traffic": {
+                c: float(v) for c, v in self.traffic.bytes_by_category.items()
+            },
+            "bandwidth_utilization": float(self.bandwidth_utilization),
+            "bandwidth_samples": [
+                {
+                    "progress": float(s.progress),
+                    "utilization": float(s.utilization),
+                    "category_share": {
+                        c: float(v) for c, v in s.category_share.items()
+                    },
+                }
+                for s in self.bandwidth_samples
+            ],
+            "compute_ops": float(self.compute_ops),
+            "buffer_peak_bytes": float(self.buffer_peak_bytes),
+            "oom_evicted_bytes": float(self.oom_evicted_bytes),
+            "repack_events": int(self.repack_events),
+            "n_iterations": int(self.n_iterations),
+            "sram_access_bytes": float(self.sram_access_bytes),
+            "extra": {k: float(v) for k, v in self.extra.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "SimResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        traffic = TrafficBreakdown(
+            bytes_by_category={
+                c: float(v) for c, v in doc["traffic"].items()
+            }
+        )
+        samples = [
+            BandwidthSample(
+                progress=float(s["progress"]),
+                utilization=float(s["utilization"]),
+                category_share={
+                    c: float(v) for c, v in s["category_share"].items()
+                },
+            )
+            for s in doc["bandwidth_samples"]
+        ]
+        return cls(
+            name=str(doc["name"]),
+            cycles=float(doc["cycles"]),
+            seconds=float(doc["seconds"]),
+            traffic=traffic,
+            bandwidth_utilization=float(doc["bandwidth_utilization"]),
+            bandwidth_samples=samples,
+            compute_ops=float(doc["compute_ops"]),
+            buffer_peak_bytes=float(doc["buffer_peak_bytes"]),
+            oom_evicted_bytes=float(doc["oom_evicted_bytes"]),
+            repack_events=int(doc["repack_events"]),
+            n_iterations=int(doc["n_iterations"]),
+            sram_access_bytes=float(doc["sram_access_bytes"]),
+            extra={k: float(v) for k, v in doc["extra"].items()},
+        )

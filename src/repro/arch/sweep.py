@@ -14,10 +14,10 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.area import AreaModel
-from repro.arch.config import SparsepipeConfig
+from repro.arch.config import PAPER_BUFFER_BYTES, SparsepipeConfig
 from repro.arch.profile import WorkloadProfile
-from repro.arch.simulator import SparsepipeSimulator
 from repro.arch.stats import SimResult
+from repro.engine.registry import create_engine
 from repro.errors import ConfigError
 from repro.formats.coo import COOMatrix
 from repro.preprocess.pipeline import PreprocessResult
@@ -46,17 +46,21 @@ class ConfigSweep:
     """Grid sweep over SparsepipeConfig fields.
 
     Parameters are given as ``field_name -> candidate values``; every
-    combination is simulated. Buffer area scales from the paper's
-    64 MB calibration point; PE-count changes scale the core area.
+    combination is simulated through the architecture registry
+    (``arch`` names the engine — any registered config-taking model
+    can be swept). Buffer area scales from the paper's 64 MB
+    calibration point; PE-count changes scale the core area.
     """
 
     def __init__(
         self,
         base: SparsepipeConfig = SparsepipeConfig(),
         area_model: AreaModel = AreaModel(),
+        arch: str = "sparsepipe",
     ) -> None:
         self._base = base
         self._area = area_model
+        self._arch = arch
 
     def run(
         self,
@@ -76,11 +80,14 @@ class ConfigSweep:
         points: List[SweepPoint] = []
         for combo in itertools.product(*(grid[n] for n in names)):
             config = replace(self._base, **dict(zip(names, combo)))
-            result = SparsepipeSimulator(config).run(
+            result = create_engine(self._arch, config).run(
                 profile, matrix, paper_nnz=paper_nnz
             )
             buffer_mb = (
-                (config.buffer_bytes or result.extra["buffer_capacity_bytes"])
+                (
+                    config.buffer_bytes
+                    or result.extra.get("buffer_capacity_bytes", PAPER_BUFFER_BYTES)
+                )
                 / (1024.0 * 1024.0)
             )
             # Keep the paper's 64 MB calibration as the density anchor.

@@ -28,6 +28,7 @@ from repro.arch.loaders import LoadPlan
 from repro.arch.profile import WorkloadProfile
 from repro.arch.stats import SimResult, TrafficBreakdown
 from repro.baselines.roofline import fused_vector_bytes, iteration_ops
+from repro.engine.registry import register_arch
 from repro.formats.coo import COOMatrix
 from repro.preprocess.pipeline import PreprocessResult
 
@@ -35,6 +36,11 @@ from repro.preprocess.pipeline import PreprocessResult
 PAPER_LLC_BYTES = 96 * 1024 * 1024
 
 
+@register_arch(
+    "cpu",
+    takes_config=False,
+    description="ALP/GraphBLAS multicore framework (AMD 5800X3D class)",
+)
 @dataclass(frozen=True)
 class CPUModel:
     """Analytical multicore STA framework model."""
@@ -50,13 +56,18 @@ class CPUModel:
     #: for small matrices without eliminating it.
     cache_hit_rate: float = 0.6
 
+    def prepare(
+        self, profile: WorkloadProfile, matrix: Union[COOMatrix, PreprocessResult]
+    ) -> LoadPlan:
+        return LoadPlan.from_matrix(matrix, subtensor_cols=128)
+
     def run(
         self,
         profile: WorkloadProfile,
         matrix: Union[COOMatrix, PreprocessResult],
         paper_nnz: int = None,
     ) -> SimResult:
-        plan = LoadPlan.from_matrix(matrix, subtensor_cols=128)
+        plan = self.prepare(profile, matrix)
         llc = self.llc_bytes
         overhead = self.operator_overhead_s
         if paper_nnz is not None:

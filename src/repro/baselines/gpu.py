@@ -18,6 +18,7 @@ from repro.arch.loaders import LoadPlan
 from repro.arch.profile import WorkloadProfile
 from repro.arch.stats import SimResult, TrafficBreakdown
 from repro.baselines.roofline import iteration_ops, unfused_vector_bytes
+from repro.engine.registry import register_arch
 from repro.formats.coo import COOMatrix
 from repro.preprocess.pipeline import PreprocessResult
 
@@ -25,6 +26,11 @@ from repro.preprocess.pipeline import PreprocessResult
 PAPER_L2_BYTES = 36 * 1024 * 1024
 
 
+@register_arch(
+    "gpu",
+    takes_config=False,
+    description="GraphBLAST/Gunrock GPU framework (RTX 4070 class)",
+)
 @dataclass(frozen=True)
 class GPUModel:
     """Analytical GPU STA framework model."""
@@ -38,13 +44,18 @@ class GPUModel:
     #: (partial — L2 is shared with vectors and intermediates).
     cache_hit_rate: float = 0.5
 
+    def prepare(
+        self, profile: WorkloadProfile, matrix: Union[COOMatrix, PreprocessResult]
+    ) -> LoadPlan:
+        return LoadPlan.from_matrix(matrix, subtensor_cols=128)
+
     def run(
         self,
         profile: WorkloadProfile,
         matrix: Union[COOMatrix, PreprocessResult],
         paper_nnz: int = None,
     ) -> SimResult:
-        plan = LoadPlan.from_matrix(matrix, subtensor_cols=128)
+        plan = self.prepare(profile, matrix)
         l2 = self.l2_bytes
         launch = self.launch_overhead_s
         if paper_nnz is not None:

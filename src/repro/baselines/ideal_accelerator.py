@@ -20,15 +20,26 @@ from repro.baselines.roofline import (
     iteration_ops,
     unfused_vector_bytes,
 )
+from repro.engine.registry import register_arch
 from repro.formats.coo import COOMatrix
 from repro.preprocess.pipeline import PreprocessResult
 
 
+@register_arch(
+    "ideal",
+    takes_config=True,
+    description="idealized intra-operator accelerator, always at roofline",
+)
 class IdealAccelerator:
     """Roofline model with per-iteration matrix streaming."""
 
     def __init__(self, config: SparsepipeConfig = SparsepipeConfig()) -> None:
         self.config = config
+
+    def prepare(
+        self, profile: WorkloadProfile, matrix: Union[COOMatrix, PreprocessResult]
+    ) -> LoadPlan:
+        return LoadPlan.from_matrix(matrix, self.config.subtensor_cols)
 
     def run(
         self,
@@ -39,7 +50,7 @@ class IdealAccelerator:
         """``paper_nnz`` is accepted for interface parity and ignored —
         this baseline is buffer-size-independent by construction."""
         config = self.config
-        plan = LoadPlan.from_matrix(matrix, config.subtensor_cols)
+        plan = self.prepare(profile, matrix)
         bpc = config.bytes_per_cycle
         pes = config.pes_per_core
 

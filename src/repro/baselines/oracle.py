@@ -23,15 +23,26 @@ from repro.baselines.roofline import (
     iteration_ops,
     pair_vector_bytes,
 )
+from repro.engine.registry import register_arch
 from repro.formats.coo import COOMatrix
 from repro.preprocess.pipeline import PreprocessResult
 
 
+@register_arch(
+    "oracle",
+    takes_config=True,
+    description="perfect OEI executor, matrix streamed once per pair",
+)
 class OracleAccelerator:
     """Roofline model of a perfect OEI executor."""
 
     def __init__(self, config: SparsepipeConfig = SparsepipeConfig()) -> None:
         self.config = config
+
+    def prepare(
+        self, profile: WorkloadProfile, matrix: Union[COOMatrix, PreprocessResult]
+    ) -> LoadPlan:
+        return LoadPlan.from_matrix(matrix, self.config.subtensor_cols)
 
     def run(
         self,
@@ -40,7 +51,7 @@ class OracleAccelerator:
         paper_nnz: int = None,
     ) -> SimResult:
         config = self.config
-        plan = LoadPlan.from_matrix(matrix, config.subtensor_cols)
+        plan = self.prepare(profile, matrix)
         bpc = config.bytes_per_cycle
         pes = config.pes_per_core
 

@@ -38,10 +38,16 @@ from repro.baselines.roofline import (
     iteration_ops,
     pair_vector_bytes,
 )
+from repro.engine.registry import register_arch
 from repro.formats.coo import COOMatrix
 from repro.preprocess.pipeline import PreprocessResult
 
 
+@register_arch(
+    "software_oei",
+    takes_config=False,
+    description="CPU running the OEI pair schedule in software (Sec II-B/VIII)",
+)
 @dataclass(frozen=True)
 class SoftwareOEIModel:
     """ALP/GraphBLAS-class CPU running the OEI pair schedule in
@@ -57,13 +63,18 @@ class SoftwareOEIModel:
     sync_overhead_s: float = 1.5e-6
     subtensor_cols: int = 128
 
+    def prepare(
+        self, profile: WorkloadProfile, matrix: Union[COOMatrix, PreprocessResult]
+    ) -> LoadPlan:
+        return LoadPlan.from_matrix(matrix, self.subtensor_cols)
+
     def run(
         self,
         profile: WorkloadProfile,
         matrix: Union[COOMatrix, PreprocessResult],
         paper_nnz: int = None,
     ) -> SimResult:
-        plan = LoadPlan.from_matrix(matrix, self.subtensor_cols)
+        plan = self.prepare(profile, matrix)
         sync = self.sync_overhead_s
         if paper_nnz is not None:
             sync = self.sync_overhead_s * plan.total_nnz / paper_nnz

@@ -1,0 +1,54 @@
+"""The unified execution-engine layer.
+
+Three concerns every backend and every experiment share, factored out
+of the individual models and drivers:
+
+- :mod:`repro.engine.registry` — the :class:`Engine` protocol and the
+  architecture registry (``register_arch`` / ``create_engine``);
+  every model the evaluation compares plugs in here,
+- :mod:`repro.engine.instrumentation` — the observer protocol for
+  simulator events (step / transfer / evict / repack / prefetch) with
+  a zero-observer fast path,
+- :mod:`repro.engine.cache` — the persistent on-disk result cache
+  keyed by content (config hash + code version), and
+- :mod:`repro.engine.parallel` — order-preserving process-pool fan-out
+  behind ``ExperimentContext.simulate_many``.
+"""
+
+from repro.engine.cache import CODE_VERSION, ResultCache
+from repro.engine.instrumentation import (
+    FILL_STEP,
+    CounterObserver,
+    EventLogObserver,
+    Instrumentation,
+    Observer,
+    StepTraceObserver,
+)
+from repro.engine.parallel import parallel_map, serial_map
+from repro.engine.registry import (
+    ArchSpec,
+    Engine,
+    arch_names,
+    create_engine,
+    get_arch,
+    register_arch,
+)
+
+__all__ = [
+    "ArchSpec",
+    "CODE_VERSION",
+    "CounterObserver",
+    "Engine",
+    "EventLogObserver",
+    "FILL_STEP",
+    "Instrumentation",
+    "Observer",
+    "ResultCache",
+    "StepTraceObserver",
+    "arch_names",
+    "create_engine",
+    "get_arch",
+    "parallel_map",
+    "register_arch",
+    "serial_map",
+]

@@ -1,0 +1,119 @@
+"""Persistent on-disk result cache.
+
+Repeated figure/benchmark runs re-simulate the identical 495-point
+cross product; this cache makes warm reruns near-free. One JSON file
+per simulated point under a cache root (``.repro_cache/`` by
+convention), content-addressed by
+
+``(code_version, arch, workload, matrix, config_key, reorder, block_size)``
+
+where ``config_key`` is :meth:`SparsepipeConfig.cache_key` (a frozen
+content hash, never ``id()``) and ``code_version`` is this module's
+:data:`CODE_VERSION` — bump it whenever simulator semantics change and
+every stale entry misses. Each file stores its full key alongside the
+serialized :class:`~repro.arch.stats.SimResult`, so hash collisions
+and hand-edited files degrade to a miss, never a wrong result. Writes
+go through a per-process temp file and an atomic rename, so concurrent
+writers (e.g. ``simulate_many`` fan-out parents) cannot tear entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.arch.stats import SimResult
+
+#: Bump whenever a change to the simulators alters results — every
+#: cache entry written under another version becomes a miss.
+CODE_VERSION = "1"
+
+
+class ResultCache:
+    """Directory of per-point SimResult JSON documents."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        code_version: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Resolved at construction so tests can monkeypatch CODE_VERSION.
+        self.code_version = str(
+            CODE_VERSION if code_version is None else code_version
+        )
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def _entry(self, arch, workload, matrix, config_key, reorder, block_size):
+        key = json.dumps(
+            [
+                self.code_version,
+                str(arch),
+                str(workload),
+                str(matrix),
+                str(config_key),
+                str(reorder),
+                str(block_size),
+            ]
+        )
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]
+        path = self.root / f"{arch}-{workload}-{matrix}-{digest}.json"
+        return path, key
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(
+        self, arch, workload, matrix, config_key, reorder, block_size
+    ) -> Optional[SimResult]:
+        """Cached result for one point, or None on any kind of miss."""
+        path, key = self._entry(
+            arch, workload, matrix, config_key, reorder, block_size
+        )
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if doc.get("key") != key:
+            return None
+        try:
+            return SimResult.from_dict(doc["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(
+        self, arch, workload, matrix, config_key, reorder, block_size,
+        result: SimResult,
+    ) -> Path:
+        """Store one result; atomic against concurrent readers/writers."""
+        path, key = self._entry(
+            arch, workload, matrix, config_key, reorder, block_size
+        )
+        doc = {"key": key, "result": result.to_dict()}
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(doc, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n

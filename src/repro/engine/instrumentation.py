@@ -1,0 +1,214 @@
+"""Pluggable simulator instrumentation.
+
+The Sparsepipe pipeline simulator emits five event kinds while it
+walks the OEI schedule:
+
+- ``transfer(category, bytes)`` — one DRAM transfer was accounted,
+- ``prefetch(step, bytes)``     — the eager CSR loader pulled future
+  column bytes forward with leftover bandwidth (Fig 9),
+- ``evict(step, bytes)``        — the buffer spilled far-reload rows
+  under OOM (the ping-pong traffic of Fig 15d),
+- ``repack(step)``              — the buffer compacted consumed
+  elements (Section IV-D3),
+- ``step(index, cycles, moved, stage_cycles)`` — the step committed;
+  always the **last** event of its step, after every transfer /
+  prefetch / evict / repack it contains. ``index`` is the pipeline
+  step, or ``FILL_STEP`` for the once-per-pair pipeline-fill charge.
+
+Observers subclass :class:`Observer` and override only the hooks they
+care about; :class:`~repro.arch.simulator.SparsepipeSimulator.run`
+takes a sequence of them. With **no observers registered the simulator
+skips event construction entirely** (the zero-observer fast path), so
+instrumentation costs nothing unless asked for.
+
+:class:`StepTraceObserver` reproduces the historical hard-wired
+accumulators (the per-step :class:`~repro.arch.stats.StepTrace` behind
+Fig 15's bandwidth samples); :class:`CounterObserver` adds per-category
+event counters; :class:`EventLogObserver` records the raw event stream
+(tests, debugging). :class:`~repro.arch.pipeline_viz.
+PipelineActivityObserver` renders per-step bottlenecks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.stats import StepTrace
+
+#: Step index used for the once-per-pair pipeline-fill latency charge
+#: (first DRAM access + adder-tree drain), which belongs to no
+#: sub-tensor step.
+FILL_STEP = -1
+
+
+class Observer:
+    """Base observer: every hook is a no-op; override what you need."""
+
+    def on_step(
+        self,
+        step: int,
+        cycles: float,
+        moved: Mapping[str, float],
+        stage_cycles: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """One pipeline step committed (``FILL_STEP`` for fill charges).
+
+        ``stage_cycles`` breaks the step down by component (``os``,
+        ``ewise``, ``is``, ``extra``, ``memory``); ``None`` for fill
+        charges and single-stream steps without an IS stage.
+        """
+
+    def on_transfer(self, category: str, n_bytes: float) -> None:
+        """One DRAM transfer was accounted to ``category``."""
+
+    def on_evict(self, step: int, n_bytes: float) -> None:
+        """The buffer evicted ``n_bytes`` under OOM during ``step``."""
+
+    def on_repack(self, step: int) -> None:
+        """The buffer repacked consumed elements during ``step``."""
+
+    def on_prefetch(self, step: int, n_bytes: float) -> None:
+        """The eager CSR loader prefetched ``n_bytes`` during ``step``."""
+
+
+class Instrumentation:
+    """Fan-out dispatcher the simulator drives.
+
+    Truthiness is the fast-path test: ``if instr:`` guards every event
+    emission, so an empty observer set costs one branch per use.
+    """
+
+    __slots__ = ("observers",)
+
+    def __init__(self, observers: Sequence[Observer] = ()) -> None:
+        self.observers = tuple(observers)
+
+    def __bool__(self) -> bool:
+        return bool(self.observers)
+
+    def step(
+        self,
+        step: int,
+        cycles: float,
+        moved: Mapping[str, float],
+        stage_cycles: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        for o in self.observers:
+            o.on_step(step, cycles, moved, stage_cycles)
+
+    def transfer(self, category: str, n_bytes: float) -> None:
+        for o in self.observers:
+            o.on_transfer(category, n_bytes)
+
+    def evict(self, step: int, n_bytes: float) -> None:
+        for o in self.observers:
+            o.on_evict(step, n_bytes)
+
+    def repack(self, step: int) -> None:
+        for o in self.observers:
+            o.on_repack(step)
+
+    def prefetch(self, step: int, n_bytes: float) -> None:
+        for o in self.observers:
+            o.on_prefetch(step, n_bytes)
+
+    def find(self, cls: type) -> Optional[Observer]:
+        """First registered observer of ``cls`` (or None)."""
+        for o in self.observers:
+            if isinstance(o, cls):
+                return o
+        return None
+
+
+class StepTraceObserver(Observer):
+    """Accumulates the per-step :class:`StepTrace` — the record behind
+    Fig 15's bandwidth-over-progress samples. Registered by default
+    when ``run`` is called without an explicit observer list, so the
+    default :class:`~repro.arch.stats.SimResult` is unchanged."""
+
+    def __init__(self) -> None:
+        self.trace = StepTrace()
+
+    def on_step(self, step, cycles, moved, stage_cycles=None) -> None:
+        self.trace.record(cycles, moved)
+
+    def samples(self, bytes_per_cycle: float, n_bins: int = 25):
+        return self.trace.samples(bytes_per_cycle, n_bins=n_bins)
+
+
+class CounterObserver(Observer):
+    """Per-category event counters: how *often* each mechanism fired,
+    not just how many bytes it moved (the byte totals already live in
+    :class:`~repro.arch.stats.TrafficBreakdown`)."""
+
+    def __init__(self) -> None:
+        self.steps = 0
+        self.cycles = 0.0
+        self.transfer_events: Dict[str, int] = {}
+        self.transfer_bytes: Dict[str, float] = {}
+        self.evict_events = 0
+        self.evict_bytes = 0.0
+        self.repack_events = 0
+        self.prefetch_events = 0
+        self.prefetch_bytes = 0.0
+
+    def on_step(self, step, cycles, moved, stage_cycles=None) -> None:
+        if step != FILL_STEP:
+            self.steps += 1
+        self.cycles += cycles
+
+    def on_transfer(self, category, n_bytes) -> None:
+        self.transfer_events[category] = self.transfer_events.get(category, 0) + 1
+        self.transfer_bytes[category] = (
+            self.transfer_bytes.get(category, 0.0) + n_bytes
+        )
+
+    def on_evict(self, step, n_bytes) -> None:
+        self.evict_events += 1
+        self.evict_bytes += n_bytes
+
+    def on_repack(self, step) -> None:
+        self.repack_events += 1
+
+    def on_prefetch(self, step, n_bytes) -> None:
+        self.prefetch_events += 1
+        self.prefetch_bytes += n_bytes
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary suitable for reports / JSON export."""
+        out: Dict[str, float] = {
+            "steps": float(self.steps),
+            "cycles": float(self.cycles),
+            "evict_events": float(self.evict_events),
+            "evict_bytes": float(self.evict_bytes),
+            "repack_events": float(self.repack_events),
+            "prefetch_events": float(self.prefetch_events),
+            "prefetch_bytes": float(self.prefetch_bytes),
+        }
+        for cat, n in sorted(self.transfer_events.items()):
+            out[f"transfers[{cat}]"] = float(n)
+            out[f"transfer_bytes[{cat}]"] = float(self.transfer_bytes[cat])
+        return out
+
+
+class EventLogObserver(Observer):
+    """Records the raw ordered event stream as ``(kind, ...)`` tuples —
+    the ground truth for event-ordering tests and ad-hoc debugging."""
+
+    def __init__(self) -> None:
+        self.events: List[Tuple] = []
+
+    def on_step(self, step, cycles, moved, stage_cycles=None) -> None:
+        self.events.append(("step", step, cycles, dict(moved)))
+
+    def on_transfer(self, category, n_bytes) -> None:
+        self.events.append(("transfer", category, n_bytes))
+
+    def on_evict(self, step, n_bytes) -> None:
+        self.events.append(("evict", step, n_bytes))
+
+    def on_repack(self, step) -> None:
+        self.events.append(("repack", step))
+
+    def on_prefetch(self, step, n_bytes) -> None:
+        self.events.append(("prefetch", step, n_bytes))

@@ -1,0 +1,65 @@
+"""Order-preserving process-pool fan-out for simulation sweeps.
+
+:func:`parallel_map` is the one place the codebase touches
+``concurrent.futures``: it preserves input order (results are
+deterministic and bit-identical to the serial path — the simulators
+are pure functions of their inputs), reuses per-worker state via the
+standard ``initializer`` hook (workers pre-materialize matrices and
+profiles once, then serve every point of their chunk from that cache),
+and degrades to in-process serial execution when the host cannot
+create a pool (restricted sandboxes) or when parallelism would not pay
+(one item, one worker).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def serial_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    initializer: Optional[Callable] = None,
+    initargs: Sequence = (),
+) -> List[R]:
+    """The fallback path: same contract, current process."""
+    if initializer is not None:
+        initializer(*initargs)
+    return [fn(item) for item in items]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: Sequence = (),
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items`` with a process pool, preserving order.
+
+    ``fn``/``initializer`` must be module-level (picklable). With
+    ``max_workers`` <= 1, fewer than two items, or a pool that cannot
+    be created, runs serially in-process — the results are identical
+    either way.
+    """
+    items = list(items)
+    if len(items) <= 1 or (max_workers is not None and max_workers <= 1):
+        return serial_map(fn, items, initializer, initargs)
+    if chunksize is None:
+        workers = max_workers or (len(items) // 2 or 1)
+        chunksize = max(1, -(-len(items) // (workers * 2)))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=initializer,
+            initargs=tuple(initargs),
+        ) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except (OSError, PermissionError, ValueError):
+        # No semaphores / fork denied: same results, one process.
+        return serial_map(fn, items, initializer, initargs)

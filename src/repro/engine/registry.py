@@ -1,0 +1,150 @@
+"""The architecture registry: one uniform entry point for every model.
+
+Every architecture the evaluation compares — the Sparsepipe pipeline
+simulator, the roofline baselines, the CPU/GPU framework models, and
+the software-OEI study of Section VIII — registers itself under a short
+name with :func:`register_arch`. Consumers (:class:`~repro.experiments.
+runner.ExperimentContext`, the CLI, :mod:`repro.arch.sweep`,
+:mod:`repro.arch.autotune`) obtain a ready-to-run engine with
+:func:`create_engine` instead of hard-coding an ``if/elif`` chain per
+model, so adding a backend is one decorator, not five call-site edits.
+
+Every engine satisfies the :class:`Engine` protocol::
+
+    engine = create_engine("sparsepipe", config)
+    engine.prepare(profile, matrix)          # optional warm-up hook
+    result = engine.run(profile, matrix, paper_nnz=...)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
+
+try:  # pragma: no cover - always present on >= 3.8
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object
+
+    def runtime_checkable(cls):
+        return cls
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.arch.config import SparsepipeConfig
+    from repro.arch.stats import SimResult
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What every architecture model must provide.
+
+    ``prepare`` derives the structure-dependent load plan from a
+    (preprocessed) matrix — the part a caller may want to do once and
+    inspect; ``run`` times the workload over it and returns a
+    :class:`~repro.arch.stats.SimResult`. ``paper_nnz`` enables the
+    per-matrix capacity/overhead scaling of DESIGN.md.
+    """
+
+    def prepare(self, profile, matrix):
+        ...  # pragma: no cover
+
+    def run(self, profile, matrix, paper_nnz=None) -> "SimResult":
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """One registered architecture."""
+
+    name: str
+    factory: Callable[[Optional["SparsepipeConfig"]], Engine]
+    takes_config: bool
+    description: str = ""
+
+
+_REGISTRY: Dict[str, ArchSpec] = {}
+_BUILTIN_LOADED = False
+
+#: Display order of the built-in architectures (matching the paper's
+#: evaluation narrative). Third-party registrations list after these,
+#: in registration order — import order must not change the CLI.
+_BUILTIN_ORDER = ("sparsepipe", "ideal", "oracle", "cpu", "gpu", "software_oei")
+
+
+def register_arch(
+    name: str, *, takes_config: bool = True, description: str = ""
+) -> Callable[[type], type]:
+    """Class decorator registering an architecture model.
+
+    ``takes_config=True`` engines are constructed as ``cls(config)``
+    (or ``cls()`` when no config is supplied); ``takes_config=False``
+    engines are constructed as ``cls()`` and the config is ignored —
+    the CPU/GPU framework models carry their own hardware constants.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigError(f"architecture name must be a non-empty string, got {name!r}")
+
+    def decorate(cls: type) -> type:
+        if name in _REGISTRY:
+            raise ConfigError(f"architecture {name!r} is already registered")
+        if takes_config:
+            def factory(config=None, _cls=cls):
+                return _cls() if config is None else _cls(config)
+        else:
+            def factory(config=None, _cls=cls):
+                return _cls()
+        _REGISTRY[name] = ArchSpec(
+            name=name,
+            factory=factory,
+            takes_config=takes_config,
+            description=description or (cls.__doc__ or "").strip().splitlines()[0],
+        )
+        return cls
+
+    return decorate
+
+
+def _ensure_builtin() -> None:
+    """Import every module that self-registers a built-in architecture.
+
+    Lazy so that ``repro.engine`` itself stays import-cycle-free: the
+    model modules import :func:`register_arch` from here.
+    """
+    global _BUILTIN_LOADED
+    if _BUILTIN_LOADED:
+        return
+    _BUILTIN_LOADED = True
+    import repro.arch.simulator            # noqa: F401  (sparsepipe)
+    import repro.baselines.ideal_accelerator  # noqa: F401  (ideal)
+    import repro.baselines.oracle          # noqa: F401  (oracle)
+    import repro.baselines.cpu             # noqa: F401  (cpu)
+    import repro.baselines.gpu             # noqa: F401  (gpu)
+    import repro.baselines.software_oei    # noqa: F401  (software_oei)
+
+
+def arch_names() -> Tuple[str, ...]:
+    """Registered architecture names: built-ins in canonical order,
+    then third-party registrations in registration order."""
+    _ensure_builtin()
+    builtin = [n for n in _BUILTIN_ORDER if n in _REGISTRY]
+    extra = [n for n in _REGISTRY if n not in _BUILTIN_ORDER]
+    return tuple(builtin + extra)
+
+
+def get_arch(name: str) -> ArchSpec:
+    """Look up one registered architecture; raises ConfigError if unknown."""
+    _ensure_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown architecture {name!r}; expected one of {arch_names()}"
+        ) from None
+
+
+def create_engine(name: str, config: Optional["SparsepipeConfig"] = None) -> Engine:
+    """Instantiate a ready-to-run engine for one architecture."""
+    spec = get_arch(name)
+    return spec.factory(config)

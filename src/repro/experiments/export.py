@@ -32,6 +32,9 @@ from repro.experiments.runner import ExperimentContext
 def collect_all(context: Optional[ExperimentContext] = None) -> Dict[str, object]:
     """Run every experiment and gather plain-JSON-serializable results."""
     context = context or ExperimentContext()
+    context.simulate_many(
+        context.cross_product(("sparsepipe", "ideal", "oracle", "cpu", "gpu"))
+    )
     doc: Dict[str, object] = {}
 
     doc["table1"] = [asdict(r) for r in table1.run()]

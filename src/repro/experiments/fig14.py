@@ -32,6 +32,7 @@ class Fig14Row:
 
 def run(context: Optional[ExperimentContext] = None) -> List[Fig14Row]:
     context = context or ExperimentContext()
+    context.simulate_many(context.cross_product(("sparsepipe", "ideal")))
     rows: List[Fig14Row] = []
     for workload in context.all_workloads():
         speedups = {

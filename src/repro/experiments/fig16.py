@@ -35,6 +35,10 @@ class Fig16Row:
 def run(context: Optional[ExperimentContext] = None) -> List[Fig16Row]:
     context = context or ExperimentContext()
     iso_cpu_config = context.config.with_memory(CPU_DDR4)
+    context.simulate_many(context.cross_product(("cpu", "sparsepipe")))
+    context.simulate_many(
+        context.cross_product(("sparsepipe",)), config=iso_cpu_config
+    )
     rows: List[Fig16Row] = []
     for workload in context.all_workloads():
         iso_gpu, iso_cpu = {}, {}

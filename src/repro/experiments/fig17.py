@@ -26,6 +26,9 @@ class Fig17Row:
 
 def run(context: Optional[ExperimentContext] = None) -> List[Fig17Row]:
     context = context or ExperimentContext()
+    context.simulate_many(
+        context.cross_product(("sparsepipe", "gpu"), workloads=GPU_WORKLOADS)
+    )
     rows: List[Fig17Row] = []
     for workload in GPU_WORKLOADS:
         speedups = {

@@ -23,6 +23,7 @@ class Fig18Row:
 
 def run(context: Optional[ExperimentContext] = None) -> List[Fig18Row]:
     context = context or ExperimentContext()
+    context.simulate_many(context.cross_product(("sparsepipe", "oracle")))
     rows: List[Fig18Row] = []
     for workload in context.all_workloads():
         fractions = {}

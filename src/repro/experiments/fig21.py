@@ -26,6 +26,7 @@ class Fig21Row:
 
 def run(context: Optional[ExperimentContext] = None) -> List[Fig21Row]:
     context = context or ExperimentContext()
+    context.simulate_many(context.cross_product(("sparsepipe",)))
     rows: List[Fig21Row] = []
     for workload in context.all_workloads():
         util = {

@@ -21,6 +21,7 @@ class Fig22Row:
 
 def run(context: Optional[ExperimentContext] = None) -> List[Fig22Row]:
     context = context or ExperimentContext()
+    context.simulate_many(context.cross_product(("cpu", "gpu", "sparsepipe")))
     rows: List[Fig22Row] = []
     for system in ("cpu", "gpu", "sparsepipe"):
         util: Dict[str, float] = {}

@@ -3,34 +3,40 @@
 :class:`ExperimentContext` memoizes the expensive intermediate products
 (preprocessed matrices, functional characterization runs, simulation
 results) so the per-figure drivers can share one cross-product sweep.
+
+Architecture dispatch goes through the engine registry
+(:mod:`repro.engine.registry`) — every registered model, including
+``software_oei``, runs through the same :meth:`simulate` path. Result
+keys are content hashes (:meth:`SparsepipeConfig.cache_key`), shared
+by the optional on-disk cache (``cache_dir``) so repeated figure and
+benchmark runs are near-free, and :meth:`simulate_many` fans a sweep
+out over a process pool with deterministic, serial-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.config import SparsepipeConfig
 from repro.arch.profile import WorkloadProfile
-from repro.arch.simulator import SparsepipeSimulator
 from repro.arch.stats import SimResult
-from repro.baselines.cpu import CPUModel
-from repro.baselines.gpu import GPUModel
-from repro.baselines.ideal_accelerator import IdealAccelerator
-from repro.baselines.oracle import OracleAccelerator
-from repro.errors import ConfigError
+from repro.engine.cache import ResultCache
+from repro.engine.parallel import parallel_map
+from repro.engine.registry import arch_names, create_engine, get_arch
 from repro.graphblas.matrix import Matrix
 from repro.matrices.suite import SUITE, load_suite_matrix, suite_names
 from repro.preprocess.pipeline import PreprocessResult, preprocess
 from repro.workloads.registry import get_workload, workload_names
 
-#: Architectures the experiments compare.
-ARCHITECTURES = ("sparsepipe", "ideal", "oracle", "cpu", "gpu")
+#: Architectures the experiments compare (the engine registry's view).
+ARCHITECTURES = arch_names()
 
 #: Workloads whose loop body is naturally memory-bound (Fig 21 separates
 #: these from gmres/gcn).
-MEMORY_BOUND_WORKLOADS = tuple(
-    w for w in ("pr", "kcore", "bfs", "sssp", "kpp", "knn", "label", "cg", "bgs")
+MEMORY_BOUND_WORKLOADS = (
+    "pr", "kcore", "bfs", "sssp", "kpp", "knn", "label", "cg", "bgs",
 )
 
 #: The four representative (workload, matrix) pairs of Fig 15.
@@ -39,6 +45,9 @@ FIG15_PAIRS = (("sssp", "bu"), ("knn", "eu"), ("kcore", "eu"), ("sssp", "wi"))
 #: The four applications compared against the GPU (Fig 17).
 GPU_WORKLOADS = ("bfs", "kcore", "pr", "sssp")
 
+#: A simulation point: (architecture, workload, matrix).
+Point = Tuple[str, str, str]
+
 
 @dataclass
 class ExperimentContext:
@@ -46,6 +55,9 @@ class ExperimentContext:
 
     ``workloads``/``matrices`` default to the full Table-III / Table-I
     sets; pass subsets for quick exploratory runs and tests.
+    ``cache_dir`` enables the persistent on-disk result cache;
+    ``max_workers`` sets the default process-pool width of
+    :meth:`simulate_many` (``None`` = serial).
     """
 
     config: SparsepipeConfig = field(default_factory=SparsepipeConfig)
@@ -53,12 +65,17 @@ class ExperimentContext:
     block_size: Optional[int] = 256
     workloads: Optional[Tuple[str, ...]] = None
     matrices: Optional[Tuple[str, ...]] = None
+    cache_dir: Optional[Union[str, Path]] = None
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         self._preps: Dict[Tuple, PreprocessResult] = {}
         self._graphblas: Dict[str, Matrix] = {}
         self._profiles: Dict[Tuple[str, str], WorkloadProfile] = {}
         self._results: Dict[Tuple, SimResult] = {}
+        self._disk: Optional[ResultCache] = (
+            ResultCache(self.cache_dir) if self.cache_dir else None
+        )
 
     # ------------------------------------------------------------------
     # Cached intermediates
@@ -98,6 +115,29 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
+    def _result_key(
+        self,
+        arch: str,
+        workload_name: str,
+        matrix_name: str,
+        cfg: SparsepipeConfig,
+        reorder: Optional[str],
+        block_size: Optional[int],
+    ) -> Tuple:
+        """Content-based result key (never ``id()``: equal-valued
+        configs share one entry, distinct configs never collide)."""
+        return (
+            arch, workload_name, matrix_name,
+            cfg.cache_key(), reorder, block_size,
+        )
+
+    def _resolve(self, reorder, block_size):
+        if reorder == "default":
+            reorder = self.reorder
+        if block_size == "default":
+            block_size = self.block_size
+        return reorder, block_size
+
     def simulate(
         self,
         arch: str,
@@ -108,27 +148,92 @@ class ExperimentContext:
         block_size: object = "default",
     ) -> SimResult:
         """Run (and cache) one architecture on one (workload, matrix)."""
-        if arch not in ARCHITECTURES:
-            raise ConfigError(f"unknown architecture {arch!r}; expected {ARCHITECTURES}")
+        get_arch(arch)  # raises ConfigError on unknown architectures
         cfg = config or self.config
-        key = (arch, workload_name, matrix_name, id(config), reorder, block_size)
+        reorder, block_size = self._resolve(reorder, block_size)
+        key = self._result_key(arch, workload_name, matrix_name, cfg, reorder, block_size)
         if key in self._results:
             return self._results[key]
+        if self._disk is not None:
+            hit = self._disk.get(*key)
+            if hit is not None:
+                self._results[key] = hit
+                return hit
         profile = self.profile(workload_name, matrix_name)
         prep = self.prepared(matrix_name, reorder=reorder, block_size=block_size)
         paper_nnz = SUITE[matrix_name].paper_nnz
-        if arch == "sparsepipe":
-            result = SparsepipeSimulator(cfg).run(profile, prep, paper_nnz=paper_nnz)
-        elif arch == "ideal":
-            result = IdealAccelerator(cfg).run(profile, prep, paper_nnz=paper_nnz)
-        elif arch == "oracle":
-            result = OracleAccelerator(cfg).run(profile, prep, paper_nnz=paper_nnz)
-        elif arch == "cpu":
-            result = CPUModel().run(profile, prep, paper_nnz=paper_nnz)
-        else:
-            result = GPUModel().run(profile, prep, paper_nnz=paper_nnz)
+        result = create_engine(arch, cfg).run(profile, prep, paper_nnz=paper_nnz)
         self._results[key] = result
+        if self._disk is not None:
+            self._disk.put(*key, result=result)
         return result
+
+    def simulate_many(
+        self,
+        points: Iterable[Point],
+        config: Optional[SparsepipeConfig] = None,
+        reorder: Optional[str] = "default",
+        block_size: object = "default",
+        max_workers: Optional[int] = None,
+    ) -> List[SimResult]:
+        """Simulate many ``(arch, workload, matrix)`` points at once.
+
+        Results come back in input order and are bit-identical to
+        calling :meth:`simulate` serially — the fan-out only changes
+        wall-clock time. Cached points (in-memory or on-disk) are never
+        re-simulated; uncached points are grouped by matrix so each
+        worker pre-materializes a matrix once and serves every point
+        on it from its local caches. ``max_workers=None`` falls back
+        to the context default (serial when that is unset too).
+        """
+        points = [tuple(p) for p in points]
+        for arch, _, _ in points:
+            get_arch(arch)
+        cfg = config or self.config
+        reorder, block_size = self._resolve(reorder, block_size)
+        keys = [
+            self._result_key(a, w, m, cfg, reorder, block_size)
+            for a, w, m in points
+        ]
+
+        missing: List[Point] = []
+        seen = set()
+        for point, key in zip(points, keys):
+            if key in self._results or key in seen:
+                continue
+            if self._disk is not None:
+                hit = self._disk.get(*key)
+                if hit is not None:
+                    self._results[key] = hit
+                    continue
+            seen.add(key)
+            missing.append(point)
+
+        if missing:
+            workers = self.max_workers if max_workers is None else max_workers
+            if workers is not None and workers > 1 and len(missing) > 1:
+                # Group by matrix so per-worker chunks reuse the
+                # materialized matrix, profile, and preprocessing.
+                ordered = sorted(missing, key=lambda p: (p[2], p[1], p[0]))
+                computed = parallel_map(
+                    _simulate_one_point,
+                    ordered,
+                    max_workers=workers,
+                    initializer=_init_worker_context,
+                    initargs=(cfg, reorder, block_size),
+                )
+                for point, result in zip(ordered, computed):
+                    key = self._result_key(*point, cfg, reorder, block_size)
+                    self._results[key] = result
+                    if self._disk is not None:
+                        self._disk.put(*key, result=result)
+            else:
+                for arch, workload, matrix in missing:
+                    self.simulate(
+                        arch, workload, matrix,
+                        config=cfg, reorder=reorder, block_size=block_size,
+                    )
+        return [self._results[key] for key in keys]
 
     def speedup(
         self, workload_name: str, matrix_name: str, over: str,
@@ -151,3 +256,38 @@ class ExperimentContext:
         if self.matrices is not None:
             return self.matrices
         return tuple(suite_names())
+
+    def cross_product(
+        self, archs: Sequence[str], workloads: Optional[Sequence[str]] = None,
+    ) -> List[Point]:
+        """The (arch x workload x matrix) point list the fig drivers
+        feed to :meth:`simulate_many`."""
+        workloads = self.all_workloads() if workloads is None else workloads
+        return [
+            (arch, workload, matrix)
+            for workload in workloads
+            for matrix in self.all_matrices()
+            for arch in archs
+        ]
+
+
+# ----------------------------------------------------------------------
+# simulate_many worker side (module-level: must be picklable)
+# ----------------------------------------------------------------------
+_WORKER_CONTEXT: Optional[ExperimentContext] = None
+
+
+def _init_worker_context(
+    config: SparsepipeConfig, reorder: Optional[str], block_size: Optional[int]
+) -> None:
+    """Build one memoizing context per worker process — matrices,
+    profiles, and preprocessing materialize once per worker."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = ExperimentContext(
+        config=config, reorder=reorder, block_size=block_size
+    )
+
+
+def _simulate_one_point(point: Point) -> SimResult:
+    arch, workload, matrix = point
+    return _WORKER_CONTEXT.simulate(arch, workload, matrix)

@@ -33,6 +33,12 @@ class Claim:
 
 def run(context: Optional[ExperimentContext] = None) -> List[Claim]:
     context = context or ExperimentContext()
+    # One fan-out warms every (arch, workload, matrix) cell the figure
+    # drivers below will read; with max_workers set this is where the
+    # whole evaluation parallelizes.
+    context.simulate_many(
+        context.cross_product(("sparsepipe", "ideal", "oracle", "cpu", "gpu"))
+    )
     claims: List[Claim] = []
 
     r14 = fig14.run(context)

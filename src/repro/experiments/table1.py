@@ -46,7 +46,9 @@ def run() -> List[Table1Row]:
     return out
 
 
-def main() -> str:
+def main(context: object = None) -> str:
+    # ``context`` is accepted (and ignored) so the CLI can drive every
+    # experiment module through one uniform ``main(context)`` call.
     rows = run()
     text = format_table(
         ["matrix", "row/col", "nnz", "max", "max(%)", "avg", "avg(%)",

@@ -45,6 +45,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ideal" in out and "oracle" not in out
 
+    def test_list_includes_software_oei(self, capsys):
+        assert main(["list"]) == 0
+        assert "software_oei" in capsys.readouterr().out
+
+    def test_simulate_software_oei(self, capsys):
+        assert main(["simulate", "-w", "bfs", "-m", "gy",
+                     "-a", "software_oei", "cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "software_oei" in out and "cpu" in out
+
     def test_analyze(self, tmp_path, capsys):
         path = tmp_path / "m.mtx"
         write_matrix_market(random_coo(2, n=30), path)
@@ -68,7 +78,9 @@ class TestExportCommand:
         # Shrink the sweep so the CLI test stays fast.
         monkeypatch.setattr(
             cli, "ExperimentContext",
-            lambda: ExperimentContext(workloads=("pr",), matrices=("gy",)),
+            lambda **kw: ExperimentContext(
+                workloads=("pr",), matrices=("gy",), **kw
+            ),
         )
         out = tmp_path / "results.json"
         assert main(["export", str(out)]) == 0

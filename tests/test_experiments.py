@@ -36,6 +36,32 @@ class TestRunner:
         b = small_context.simulate("sparsepipe", "pr", "gy")
         assert a is b
 
+    def test_equal_valued_configs_share_one_cache_entry(self, small_context):
+        # Regression: keying on id(config) made every equal-valued
+        # config instance a fresh cache entry (and, worse, let a
+        # recycled id() serve a stale result).
+        from repro.arch import SparsepipeConfig
+
+        a = small_context.simulate(
+            "ideal", "pr", "gy", config=SparsepipeConfig(subtensor_cols=128)
+        )
+        b = small_context.simulate(
+            "ideal", "pr", "gy", config=SparsepipeConfig(subtensor_cols=128)
+        )
+        assert a is b
+
+    def test_distinct_configs_get_distinct_entries(self, small_context):
+        from repro.arch import SparsepipeConfig
+
+        a = small_context.simulate(
+            "sparsepipe", "pr", "gy", config=SparsepipeConfig(subtensor_cols=128)
+        )
+        b = small_context.simulate(
+            "sparsepipe", "pr", "gy", config=SparsepipeConfig(subtensor_cols=64)
+        )
+        assert a is not b
+        assert a.cycles != b.cycles
+
     def test_unknown_architecture(self, small_context):
         with pytest.raises(ConfigError):
             small_context.simulate("tpu", "pr", "gy")
