@@ -7,6 +7,8 @@ Commands
 - ``simulate -w pr -m wi``      — one (workload, matrix) on all archs
 - ``analyze <matrix.mtx>``      — Table-I reuse analysis of a file
 - ``footprint``                 — Table I over the built-in suite
+- ``lint [workload ...]``       — static verifier over workload graphs
+- ``selfcheck``                 — AST self-lint of the library source
 
 ``--jobs N`` fans sweeps out over N worker processes; ``--cache DIR``
 persists simulation results on disk so reruns skip straight to the
@@ -115,6 +117,39 @@ def _cmd_footprint(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.workloads.registry import lint_registry
+
+    reports = lint_registry(args.workloads or None)
+    n_errors = 0
+    n_warnings = 0
+    for name, report in reports.items():
+        n_errors += len(report.errors)
+        n_warnings += len(report.warnings)
+        if len(report) == 0:
+            print(f"{name}: ok")
+        else:
+            print(f"{name}:")
+            for line in report.format().splitlines():
+                print(f"  {line}")
+    print(f"\n{len(reports)} workload(s): {n_errors} error(s), "
+          f"{n_warnings} warning(s)")
+    return 1 if n_errors else 0
+
+
+def _cmd_selfcheck(_args: argparse.Namespace) -> int:
+    from repro.analysis.selfcheck import selfcheck
+
+    report = selfcheck()
+    if len(report) == 0:
+        print("selfcheck: ok")
+    else:
+        print(report.format())
+        print(f"\n{len(report.errors)} error(s), "
+              f"{len(report.warnings)} warning(s)")
+    return 1 if report.errors else 0
+
+
 def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.experiments import summary
 
@@ -164,6 +199,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("path")
 
     sub.add_parser("footprint", help="Table I over the built-in suite")
+
+    p_lint = sub.add_parser(
+        "lint", help="static verifier + schedule linter over workloads"
+    )
+    p_lint.add_argument(
+        "workloads", nargs="*",
+        help="workload names (default: every registered workload)",
+    )
+    sub.add_parser("selfcheck", help="AST self-lint of the library source")
+
     p_sum = sub.add_parser(
         "summary", help="all Section VI headline claims, paper vs measured"
     )
@@ -183,6 +228,8 @@ def main(argv: List[str] = None) -> int:
         "simulate": _cmd_simulate,
         "analyze": _cmd_analyze,
         "footprint": _cmd_footprint,
+        "lint": _cmd_lint,
+        "selfcheck": _cmd_selfcheck,
         "summary": _cmd_summary,
         "export": _cmd_export,
     }

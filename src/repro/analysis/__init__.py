@@ -1,0 +1,54 @@
+"""Static analysis: IR verification, schedule linting, and self-lint.
+
+Sparsepipe's correctness rests on legality arguments — OEI pairs must
+share the streamed matrix with OS/IS-compatible dataflow directions,
+e-wise fusion must respect sub-tensor dependency classes, and the
+three-core schedule must honor the Fig 8 skew. This package checks all
+of them *statically*, before any simulation, with structured
+diagnostics (stable code, severity, location, fix hint):
+
+- :mod:`repro.analysis.diagnostics` — the code registry
+  (:data:`~repro.analysis.diagnostics.CODES`) and
+  :class:`~repro.analysis.diagnostics.DiagnosticReport`,
+- :mod:`repro.analysis.passes` — the verifier pass pipeline over
+  :class:`~repro.dataflow.graph.DataflowGraph`,
+  :class:`~repro.dataflow.program.OEIProgram`, and the OEI schedule,
+- :mod:`repro.analysis.selfcheck` — AST rules enforcing repository
+  invariants over ``src/repro`` itself (SP9xx).
+
+Entry points: ``compile_program(..., verify=...)`` runs the graph
+pipeline on every compile, ``python -m repro lint`` lints registered
+workloads, and ``python -m repro selfcheck`` lints the source tree.
+``docs/analysis.md`` catalogues every diagnostic code.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    CodeSpec,
+    DiagnosticReport,
+    DiagnosticWarning,
+    diagnostic,
+)
+from repro.analysis.passes import (
+    lint_workload,
+    verify_graph,
+    verify_program,
+    verify_schedule,
+)
+from repro.analysis.selfcheck import selfcheck
+from repro.errors import Diagnostic, Severity
+
+__all__ = [
+    "CODES",
+    "CodeSpec",
+    "Diagnostic",
+    "DiagnosticReport",
+    "DiagnosticWarning",
+    "Severity",
+    "diagnostic",
+    "lint_workload",
+    "selfcheck",
+    "verify_graph",
+    "verify_program",
+    "verify_schedule",
+]

@@ -1,0 +1,489 @@
+"""Static IR verification passes (the front line before simulation).
+
+Three verifiers, one report format:
+
+- :func:`verify_graph` — structural and legality passes over a
+  :class:`~repro.dataflow.graph.DataflowGraph`: ranks, opcodes,
+  producers, cycles, loop-carried wiring, fusion dependency classes,
+  and OEI pairing legality (shared-matrix dual storage, OS->IS
+  direction compatibility).
+- :func:`verify_program` — checks a compiled
+  :class:`~repro.dataflow.program.OEIProgram`: opcode/arity validity,
+  register dataflow, and the semiring opcode.
+- :func:`verify_schedule` — proves the Fig 8 stage-skew invariant
+  *symbolically* over stage indices (a stage at lag ``L`` reading the
+  output of a stage at lag ``L'`` is safe for every step iff
+  ``L >= L' + 1``), instead of replaying steps like
+  :func:`repro.oei.validate.validate_schedule`.
+
+Each pass appends :class:`~repro.errors.Diagnostic` records to a
+:class:`~repro.analysis.diagnostics.DiagnosticReport`; nothing raises.
+``compile_program(verify="error")`` turns error-severity findings into
+a :class:`~repro.errors.CompileError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.dataflow.dependency import is_subtensor
+from repro.dataflow.graph import DataflowGraph, OpKind, OpNode, TensorKind
+from repro.dataflow.oei_detect import _scalar_blockers, find_oei_path
+from repro.dataflow.program import OEIProgram, OperandKind
+from repro.oei.schedule import EWISE_LAG, IS_LAG, OEISchedule
+from repro.semiring.binaryops import BINARY_OPS
+from repro.semiring.monoids import MONOIDS
+from repro.semiring.semirings import SEMIRINGS
+from repro.semiring.unaryops import UNARY_OPS
+
+_CONTRACTIONS = (OpKind.VXM, OpKind.MXV, OpKind.MXM)
+
+
+def _loc(graph: DataflowGraph, op: Optional[OpNode] = None,
+         tensor: str = "") -> str:
+    parts = [f"graph {graph.name}"]
+    if op is not None:
+        parts.append(f"op {op.name}")
+    if tensor:
+        parts.append(f"tensor {tensor}")
+    return " / ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# SP101: rank consistency
+# ----------------------------------------------------------------------
+def _check_ranks(graph: DataflowGraph, report: DiagnosticReport) -> None:
+    for op in graph.ops:
+        kinds = tuple(t.kind for t in op.inputs)
+        out = op.output.kind
+        loc = _loc(graph, op)
+        if op.kind in (OpKind.VXM, OpKind.MXV):
+            if (sorted(k.value for k in kinds)
+                    != [TensorKind.MATRIX.value, TensorKind.VECTOR.value]):
+                report.add("SP101",
+                           f"{op.kind.value} needs one vector and one matrix "
+                           f"operand, got {[k.value for k in kinds]}", loc)
+            if out is not TensorKind.VECTOR:
+                report.add("SP101",
+                           f"{op.kind.value} must produce a vector, got "
+                           f"{out.value}", loc)
+        elif op.kind is OpKind.MXM:
+            if kinds != (TensorKind.MATRIX, TensorKind.MATRIX):
+                report.add("SP101",
+                           f"mxm needs two matrix operands, got "
+                           f"{[k.value for k in kinds]}", loc)
+            if out is not TensorKind.MATRIX:
+                report.add("SP101",
+                           f"mxm must produce a matrix, got {out.value}", loc)
+        elif op.kind is OpKind.REDUCE:
+            if kinds != (TensorKind.VECTOR,):
+                report.add("SP101",
+                           f"reduce folds one vector, got "
+                           f"{[k.value for k in kinds]}", loc)
+            if out is not TensorKind.SCALAR:
+                report.add("SP101",
+                           f"reduce must produce a scalar, got {out.value}",
+                           loc)
+        elif op.kind is OpKind.DOT:
+            if kinds != (TensorKind.VECTOR, TensorKind.VECTOR):
+                report.add("SP101",
+                           f"dot needs two vector operands, got "
+                           f"{[k.value for k in kinds]}", loc)
+            if out is not TensorKind.SCALAR:
+                report.add("SP101",
+                           f"dot must produce a scalar, got {out.value}", loc)
+        else:  # EWISE / APPLY / NOOP: element-wise over vectors/scalars
+            if TensorKind.MATRIX in kinds or out is TensorKind.MATRIX:
+                report.add("SP101",
+                           "e-wise ops operate on vectors and scalars, not "
+                           "matrices", loc)
+            elif TensorKind.VECTOR in kinds and out is not TensorKind.VECTOR:
+                report.add("SP101",
+                           "e-wise over vector inputs must produce a vector, "
+                           f"got {out.value}", loc)
+
+
+# ----------------------------------------------------------------------
+# SP102/SP103/SP104/SP109/SP111: opcode and operand validity
+# ----------------------------------------------------------------------
+def _check_opcodes(graph: DataflowGraph, report: DiagnosticReport) -> None:
+    for op in graph.ops:
+        loc = _loc(graph, op)
+        if op.kind in _CONTRACTIONS or op.kind is OpKind.DOT:
+            if op.op_name not in SEMIRINGS:
+                report.add("SP102",
+                           f"{op.op_name!r} is not a registered semiring "
+                           f"(known: {sorted(SEMIRINGS)})", loc)
+        elif op.kind is OpKind.REDUCE:
+            if op.op_name not in MONOIDS:
+                report.add("SP104",
+                           f"{op.op_name!r} is not a registered monoid "
+                           f"(known: {sorted(MONOIDS)})", loc)
+        elif op.kind in (OpKind.EWISE, OpKind.APPLY):
+            arity = (len(op.inputs)
+                     + (op.scalar_operand is not None)
+                     + (op.immediate is not None))
+            if arity > 2:
+                report.add("SP109",
+                           f"e-wise op takes {arity} operands "
+                           f"({len(op.inputs)} inputs"
+                           f"{' + scalar_operand' if op.scalar_operand else ''}"
+                           f"{' + immediate' if op.immediate is not None else ''}"
+                           "); the E-Wise core supports at most 2", loc)
+            elif arity == 1 and op.op_name not in UNARY_OPS:
+                report.add("SP103",
+                           f"{op.op_name!r} is not a known unary operator",
+                           loc)
+            elif arity == 2 and op.op_name not in BINARY_OPS:
+                report.add("SP103",
+                           f"{op.op_name!r} is not a known binary operator",
+                           loc)
+        if op.scalar_operand is not None:
+            declared = graph.tensors.get(op.scalar_operand)
+            if declared is not None and declared.kind is not TensorKind.SCALAR:
+                report.add("SP111",
+                           f"scalar_operand {op.scalar_operand!r} names a "
+                           f"{declared.kind.value} tensor", loc)
+
+
+# ----------------------------------------------------------------------
+# SP105/SP110/SP114: producer discipline
+# ----------------------------------------------------------------------
+def _check_producers(graph: DataflowGraph, report: DiagnosticReport) -> None:
+    producers = {}
+    for op in graph.ops:
+        for t in list(op.inputs) + [op.output]:
+            if t.name not in graph.tensors:
+                report.add("SP114",
+                           f"references undeclared tensor {t.name!r}",
+                           _loc(graph, op))
+        prev = producers.get(op.output.name)
+        if prev is not None:
+            report.add("SP105",
+                       f"tensor {op.output.name!r} is produced by both "
+                       f"{prev.name!r} and {op.name!r}", _loc(graph, op))
+        else:
+            producers[op.output.name] = op
+        if op.output.constant:
+            report.add("SP110",
+                       f"writes constant tensor {op.output.name!r}",
+                       _loc(graph, op))
+
+
+# ----------------------------------------------------------------------
+# SP106: dangling tensors
+# ----------------------------------------------------------------------
+def _check_dangling(graph: DataflowGraph, report: DiagnosticReport) -> None:
+    used = set()
+    for op in graph.ops:
+        used.update(t.name for t in op.inputs)
+        used.add(op.output.name)
+        if op.scalar_operand is not None:
+            used.add(op.scalar_operand)
+    used.update(graph.loop_carried)
+    used.update(graph.loop_carried.values())
+    for name in graph.tensors:
+        if name not in used:
+            report.add("SP106",
+                       f"tensor {name!r} is declared but never produced, "
+                       "consumed, or loop-carried",
+                       _loc(graph, tensor=name))
+
+
+# ----------------------------------------------------------------------
+# SP107: intra-iteration cycles
+# ----------------------------------------------------------------------
+def _check_cycles(graph: DataflowGraph, report: DiagnosticReport) -> None:
+    produced_by = {op.output.name: op for op in graph.ops}
+    indeg = {op.name: 0 for op in graph.ops}
+    consumers = {op.name: [] for op in graph.ops}
+    for op in graph.ops:
+        for t in op.inputs:
+            dep = produced_by.get(t.name)
+            if dep is not None:
+                indeg[op.name] += 1
+                consumers[dep.name].append(op.name)
+    ready = [name for name, d in indeg.items() if d == 0]
+    done = 0
+    while ready:
+        name = ready.pop()
+        done += 1
+        for nxt in consumers[name]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+    if done != len(graph.ops):
+        stuck = sorted(name for name, d in indeg.items() if d > 0)
+        report.add("SP107",
+                   f"cycle among ops {stuck} within one iteration "
+                   "(loop-carried state must cross the iteration boundary "
+                   "explicitly)", _loc(graph))
+
+
+# ----------------------------------------------------------------------
+# SP108: loop-carried edge legality
+# ----------------------------------------------------------------------
+def _check_loop_carried(graph: DataflowGraph, report: DiagnosticReport) -> None:
+    produced = {op.output.name for op in graph.ops}
+    carry_targets = set(graph.loop_carried.values())
+    for src, dst in graph.loop_carried.items():
+        loc = _loc(graph, tensor=src)
+        src_node = graph.tensors.get(src)
+        dst_node = graph.tensors.get(dst)
+        if src_node is None or dst_node is None:
+            missing = src if src_node is None else dst
+            report.add("SP108",
+                       f"loop-carried edge {src!r} -> {dst!r} references "
+                       f"undeclared tensor {missing!r}", loc)
+            continue
+        if src not in produced and src not in carry_targets:
+            report.add("SP108",
+                       f"carries {src!r}, which no op produces and no other "
+                       "carry delays (not a valid delay chain)", loc)
+        if dst in produced:
+            report.add("SP108",
+                       f"carries into {dst!r}, which is already produced "
+                       "within the iteration body", loc)
+        if dst_node.constant:
+            report.add("SP108",
+                       f"carries into constant tensor {dst!r}", loc)
+        if src_node.kind != dst_node.kind:
+            report.add("SP108",
+                       f"carries {src_node.kind.value} {src!r} into "
+                       f"{dst_node.kind.value} {dst!r} (kind mismatch)", loc)
+
+
+# ----------------------------------------------------------------------
+# SP201/SP202: semiring uniformity
+# ----------------------------------------------------------------------
+def _check_semiring_uniformity(
+    graph: DataflowGraph, report: DiagnosticReport
+) -> None:
+    contractions = graph.contractions()
+    if not contractions:
+        report.add("SP202",
+                   f"graph {graph.name!r} has no contraction to accelerate",
+                   _loc(graph))
+        return
+    names = sorted({op.op_name for op in contractions})
+    if len(names) > 1:
+        report.add("SP201",
+                   f"mixes semirings {names}; Sparsepipe preloads a single "
+                   "opcode per kernel launch", _loc(graph))
+
+
+# ----------------------------------------------------------------------
+# SP203: hidden reduction scalars on e-wise chains
+# ----------------------------------------------------------------------
+def _check_fusion_dependencies(
+    graph: DataflowGraph, report: DiagnosticReport
+) -> None:
+    contraction_outputs = {op.output.name for op in graph.contractions()}
+    scalar_upstream = _scalar_blockers(graph)
+    for op in graph.ops:
+        if not is_subtensor(op) or op.scalar_operand is None:
+            continue
+        closure = scalar_upstream.get(op.scalar_operand)
+        if closure is None:
+            continue  # runtime scalar, not produced this iteration
+        blocking = sorted(closure & contraction_outputs)
+        if blocking:
+            report.add("SP203",
+                       f"scalar {op.scalar_operand!r} is reduced this "
+                       f"iteration from contraction output(s) {blocking}; "
+                       "the e-wise chain is not sub-tensor dependent",
+                       _loc(graph, op))
+
+
+# ----------------------------------------------------------------------
+# SP204/SP205: OEI pairing legality
+# ----------------------------------------------------------------------
+def _check_oei_pairing(graph: DataflowGraph, report: DiagnosticReport) -> None:
+    path = find_oei_path(graph)
+    if path is None:
+        return
+    formats = graph.matrix_formats.get(path.matrix_name)
+    if formats is not None:
+        missing = sorted({"csc", "csr"} - set(formats))
+        if missing:
+            report.add("SP204",
+                       f"OEI pair {path.src.name!r} -> {path.dst.name!r} "
+                       f"shares matrix {path.matrix_name!r}, whose declared "
+                       f"dual storage lacks the {missing} side(s)",
+                       _loc(graph, tensor=path.matrix_name))
+    # The source contraction of the pair runs output-stationary (CSC
+    # order); the destination runs input-stationary (CSR order). An op
+    # pinned to the opposite dataflow cannot take that role.
+    if path.src.dataflow not in (None, "os"):
+        report.add("SP205",
+                   f"OEI source {path.src.name!r} is pinned to the "
+                   f"{path.src.dataflow!r} dataflow but must run OS",
+                   _loc(graph, path.src))
+    if path.dst.dataflow not in (None, "is"):
+        report.add("SP205",
+                   f"OEI destination {path.dst.name!r} is pinned to the "
+                   f"{path.dst.dataflow!r} dataflow but must run IS",
+                   _loc(graph, path.dst))
+
+
+#: Structural passes always run; legality passes only run on a
+#: structurally sound graph (they call helpers that assume one).
+_STRUCTURAL_PASSES: Sequence[Callable] = (
+    _check_ranks,
+    _check_opcodes,
+    _check_producers,
+    _check_dangling,
+    _check_cycles,
+    _check_loop_carried,
+)
+_LEGALITY_PASSES: Sequence[Callable] = (
+    _check_semiring_uniformity,
+    _check_fusion_dependencies,
+    _check_oei_pairing,
+)
+
+
+def verify_graph(graph: DataflowGraph) -> DiagnosticReport:
+    """Run every graph pass; legality passes are skipped when the
+    structural passes already found errors (their preconditions —
+    unique producers, acyclicity — would not hold)."""
+    report = DiagnosticReport(subject=f"graph {graph.name}")
+    for check in _STRUCTURAL_PASSES:
+        check(graph, report)
+    if report.ok:
+        for check in _LEGALITY_PASSES:
+            check(graph, report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Compiled-program verification
+# ----------------------------------------------------------------------
+def verify_program(program: OEIProgram) -> DiagnosticReport:
+    """Statically check a compiled :class:`OEIProgram`: semiring opcode
+    (SP207), instruction opcodes and arity (SP206), and register
+    dataflow (SP208)."""
+    report = DiagnosticReport(subject=f"program {program.name}")
+    if program.semiring_name not in SEMIRINGS:
+        report.add("SP207",
+                   f"{program.semiring_name!r} is not a registered semiring",
+                   f"program {program.name}")
+    written = set()
+    for i, instr in enumerate(program.instructions):
+        loc = f"program {program.name} / instr {i}"
+        arity = len(instr.srcs)
+        if arity == 1:
+            if instr.op_name not in UNARY_OPS:
+                report.add("SP206",
+                           f"{instr.op_name!r} is not a known unary operator",
+                           loc)
+        elif arity == 2:
+            if instr.op_name not in BINARY_OPS:
+                report.add("SP206",
+                           f"{instr.op_name!r} is not a known binary operator",
+                           loc)
+        else:
+            report.add("SP206", f"instruction arity {arity} unsupported", loc)
+        for operand in instr.srcs:
+            if operand.kind is OperandKind.REG and operand.ref not in written:
+                report.add("SP208",
+                           f"reads register r{operand.ref} before any "
+                           "instruction writes it", loc)
+        written.add(instr.dst)
+        if instr.dst >= program.n_registers:
+            report.add("SP208",
+                       f"writes r{instr.dst} but n_registers is "
+                       f"{program.n_registers}", loc)
+    if program.result_reg is not None and program.result_reg not in written:
+        report.add("SP208",
+                   f"result_reg r{program.result_reg} is never written",
+                   f"program {program.name}")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Schedule verification (symbolic, no replay)
+# ----------------------------------------------------------------------
+def verify_schedule(
+    n: int,
+    subtensor_cols: int,
+    ewise_lag: int = EWISE_LAG,
+    is_lag: int = IS_LAG,
+    n_steps: Optional[int] = None,
+) -> DiagnosticReport:
+    """Prove schedule legality symbolically over stage indices.
+
+    A stage at lag ``L`` processes sub-tensor ``s`` during step
+    ``s + L`` and its input — produced by the upstream stage at lag
+    ``L'`` — is finished at the end of step ``s + L'``. The dependency
+    is satisfied for *every* ``s`` iff ``L >= L' + 1``, so the whole
+    Fig 8 argument reduces to ``0 < ewise_lag < is_lag`` (SP301).
+    Draining needs ``n_steps >= n_subtensors + is_lag`` (SP302), and
+    the sub-tensor decomposition must tile ``[0, n)`` (SP303).
+    """
+    report = DiagnosticReport(
+        subject=f"schedule (n={n}, subtensor_cols={subtensor_cols})"
+    )
+    if n < 0 or subtensor_cols <= 0:
+        report.add("SP306",
+                   f"n={n} must be non-negative and "
+                   f"subtensor_cols={subtensor_cols} positive")
+        return report
+    if ewise_lag < 1:
+        report.add("SP301",
+                   f"e-wise lag {ewise_lag} < 1: at step s the E-Wise stage "
+                   "would read OS output that only finishes at the end of "
+                   "step s")
+    if is_lag < ewise_lag + 1:
+        report.add("SP301",
+                   f"IS lag {is_lag} < e-wise lag {ewise_lag} + 1: at step s "
+                   "the IS stage would read e-wise output that is not yet "
+                   "finished")
+    schedule = OEISchedule(n, subtensor_cols)
+    n_subtensors = schedule.n_subtensors
+    steps = schedule.n_steps if n_steps is None else n_steps
+    if n_subtensors and steps < n_subtensors + is_lag:
+        report.add("SP302",
+                   f"{steps} steps cannot drain {n_subtensors} sub-tensors "
+                   f"through a stage at lag {is_lag} "
+                   f"(needs {n_subtensors + is_lag})")
+    cursor = 0
+    for st in schedule.subtensors():
+        if st.start != cursor or st.width <= 0 or st.stop > n:
+            report.add("SP303",
+                       f"sub-tensor {st.index} spans [{st.start}, {st.stop}) "
+                       f"but the partition cursor is at {cursor}")
+            break
+        cursor = st.stop
+    else:
+        if cursor != n:
+            report.add("SP303",
+                       f"sub-tensors cover [0, {cursor}) of [0, {n})")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Whole-workload lint
+# ----------------------------------------------------------------------
+#: Nominal matrix width used when linting a workload without a matrix.
+_LINT_N = 1024
+
+
+def lint_workload(workload) -> DiagnosticReport:
+    """Full static lint of one workload: graph passes, then (when the
+    graph is sound) compiled-program and schedule passes."""
+    graph = workload.build_graph()
+    report = verify_graph(graph)
+    report.subject = f"workload {workload.name}"
+    if not report.ok:
+        return report
+    from repro.arch.config import SparsepipeConfig
+    from repro.dataflow.compiler import compile_program
+
+    program = compile_program(graph, verify="off")
+    report.extend(verify_program(program))
+    report.extend(
+        verify_schedule(_LINT_N, SparsepipeConfig().subtensor_cols)
+    )
+    return report

@@ -1,0 +1,237 @@
+"""AST self-lint: repository invariants checked statically (SP9xx).
+
+Four custom :mod:`ast` rules over the library source tree enforce
+invariants that DESIGN.md and PR history established but nothing
+previously checked:
+
+- **SP901** — no ``scipy``/``networkx`` imports in library code; they
+  are test-only cross-checks.
+- **SP902** — every module under ``baselines/`` that defines an
+  engine-like class (one with a ``run`` method) must register it with
+  ``@register_arch``, or the registry/CLI/sweeps silently lose it.
+- **SP903** — every field of a dataclass that defines ``cache_key()``
+  must be consumed by it (directly, or wholesale via ``asdict``/
+  ``vars``). This is exactly the PR-1 stale-cache bug class: a config
+  field missing from the hash makes distinct configs collide in the
+  result cache.
+- **SP904** — no unseeded randomness or wall-clock reads inside the
+  simulator/engine hot paths (``arch``, ``oei``, ``engine``,
+  ``dataflow``, ``formats``, ``semiring``): results must be
+  deterministic and replayable.
+
+Run it with ``python -m repro selfcheck`` (wired into CI's lint job).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.diagnostics import DiagnosticReport
+
+#: Modules that may only be imported from tests (DESIGN.md).
+FORBIDDEN_IMPORTS = ("scipy", "networkx")
+
+#: Sub-packages whose code runs inside the simulation/timing hot path
+#: and must therefore be deterministic (SP904).
+HOT_PATH_PACKAGES = ("arch", "oei", "engine", "dataflow", "formats",
+                     "semiring")
+
+#: Calls that introduce nondeterminism when they appear in a hot path.
+_CLOCK_CALLS = {
+    ("time", "time"), ("time", "perf_counter"), ("time", "monotonic"),
+    ("time", "time_ns"), ("time", "perf_counter_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"),
+}
+
+
+def _library_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _iter_sources(root: Path) -> Iterator[Path]:
+    yield from sorted(root.rglob("*.py"))
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """Innermost name of a decorator expression (``a.b(...)`` -> ``b``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+# ----------------------------------------------------------------------
+# SP901: forbidden imports
+# ----------------------------------------------------------------------
+def _check_imports(tree: ast.AST, rel: str, report: DiagnosticReport) -> None:
+    for node in ast.walk(tree):
+        names: List[str] = []
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names = [node.module]
+        for name in names:
+            top = name.split(".")[0]
+            if top in FORBIDDEN_IMPORTS:
+                report.add("SP901",
+                           f"library code imports {top!r}",
+                           f"{rel}:{node.lineno}")
+
+
+# ----------------------------------------------------------------------
+# SP902: baselines must register
+# ----------------------------------------------------------------------
+def _check_baseline_registration(
+    tree: ast.AST, rel: str, report: DiagnosticReport
+) -> None:
+    engine_classes = []
+    registered = False
+    for node in ast.iter_child_nodes(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        has_run = any(
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name == "run"
+            for item in node.body
+        )
+        if has_run:
+            engine_classes.append(node)
+        if any(_decorator_name(d) == "register_arch"
+               for d in node.decorator_list):
+            registered = True
+    if engine_classes and not registered:
+        first = engine_classes[0]
+        report.add("SP902",
+                   f"defines engine class {first.name!r} but never applies "
+                   "@register_arch", f"{rel}:{first.lineno}")
+
+
+# ----------------------------------------------------------------------
+# SP903: cache_key must consume every dataclass field
+# ----------------------------------------------------------------------
+def _dataclass_fields(cls: ast.ClassDef) -> List[str]:
+    fields = []
+    for item in cls.body:
+        if not isinstance(item, ast.AnnAssign):
+            continue
+        if not isinstance(item.target, ast.Name):
+            continue
+        ann = ast.unparse(item.annotation)
+        if "ClassVar" in ann or item.target.id.startswith("_"):
+            continue
+        fields.append(item.target.id)
+    return fields
+
+
+def _check_cache_keys(tree: ast.AST, rel: str,
+                      report: DiagnosticReport) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not any(_decorator_name(d) == "dataclass"
+                   for d in node.decorator_list):
+            continue
+        cache_key = next(
+            (item for item in node.body
+             if isinstance(item, ast.FunctionDef)
+             and item.name == "cache_key"),
+            None,
+        )
+        if cache_key is None:
+            continue
+        consumed = set()
+        wholesale = False
+        for sub in ast.walk(cache_key):
+            if isinstance(sub, ast.Call):
+                callee = _decorator_name(sub.func)
+                if callee in ("asdict", "astuple", "vars"):
+                    wholesale = True
+            if (isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"):
+                consumed.add(sub.attr)
+                if sub.attr == "__dict__":
+                    wholesale = True
+        if wholesale:
+            continue
+        missing = [f for f in _dataclass_fields(node) if f not in consumed]
+        if missing:
+            report.add("SP903",
+                       f"{node.name}.cache_key() never reads field(s) "
+                       f"{missing}; equal keys would alias distinct configs",
+                       f"{rel}:{cache_key.lineno}")
+
+
+# ----------------------------------------------------------------------
+# SP904: determinism in hot paths
+# ----------------------------------------------------------------------
+def _call_path(node: ast.Call) -> Tuple[str, ...]:
+    """Dotted attribute path of a call, e.g. ``np.random.default_rng``
+    -> ``("np", "random", "default_rng")``; empty when not a plain
+    attribute chain."""
+    parts: List[str] = []
+    cur = node.func
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _check_determinism(tree: ast.AST, rel: str,
+                       report: DiagnosticReport) -> None:
+    imports_random = any(
+        isinstance(node, ast.Import)
+        and any(alias.name == "random" for alias in node.names)
+        or (isinstance(node, ast.ImportFrom) and node.module == "random")
+        for node in ast.walk(tree)
+    )
+    if imports_random:
+        report.add("SP904",
+                   "hot-path module imports the stdlib 'random' module "
+                   "(unseeded global state)", rel)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = _call_path(node)
+        if not path:
+            continue
+        if path[-1] == "default_rng" and not node.args and not node.keywords:
+            report.add("SP904",
+                       "default_rng() without an explicit seed is "
+                       "nondeterministic", f"{rel}:{node.lineno}")
+        elif len(path) >= 2 and path[-2:] in _CLOCK_CALLS:
+            report.add("SP904",
+                       f"reads the wall clock via {'.'.join(path)}()",
+                       f"{rel}:{node.lineno}")
+
+
+def selfcheck(root: Optional[Path] = None) -> DiagnosticReport:
+    """Lint the library tree (default: the installed ``repro`` package)
+    and return every SP9xx finding as one report."""
+    root = Path(root) if root is not None else _library_root()
+    report = DiagnosticReport(subject=f"selfcheck {root}")
+    for path in _iter_sources(root):
+        rel = path.relative_to(root).as_posix()
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:  # pragma: no cover - broken tree
+            report.add("SP901", f"unparseable source: {exc}", rel)
+            continue
+        _check_imports(tree, rel, report)
+        if rel.startswith("baselines/") and path.name != "__init__.py":
+            _check_baseline_registration(tree, rel, report)
+        _check_cache_keys(tree, rel, report)
+        top = rel.split("/", 1)[0]
+        if top in HOT_PATH_PACKAGES:
+            _check_determinism(tree, rel, report)
+    return report

@@ -5,20 +5,31 @@ dependence group (the OEI path) from all other operation groups,
 consecutive e-wise operations merge into a fixed vector instruction
 stream, and the semiring opcode is extracted for the OS/IS cores. All
 of it happens statically — no runtime code generation.
+
+Before lowering, :func:`compile_program` runs the static verifier
+(:mod:`repro.analysis.passes`) over the graph. ``verify="error"`` (the
+default) raises a :class:`~repro.errors.CompileError` carrying the
+structured diagnostics; ``"warn"`` emits Python warnings instead;
+``"off"`` reproduces the pre-verifier behavior exactly.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.analysis.diagnostics import DiagnosticWarning
 from repro.dataflow.fusion import FusedGroup, fuse_ewise
 from repro.dataflow.graph import DataflowGraph, OpKind, OpNode, TensorKind
 from repro.dataflow.oei_detect import OEIPath, find_oei_path
 from repro.dataflow.program import EWiseInstr, OEIProgram, Operand, OperandKind
-from repro.errors import CompileError
+from repro.errors import CompileError, ConfigError, Diagnostic
 from repro.semiring.binaryops import BINARY_OPS
 from repro.semiring.unaryops import UNARY_OPS
+
+#: Valid ``verify`` modes of :func:`compile_program`.
+VERIFY_MODES = ("error", "warn", "off")
 
 
 @dataclass(frozen=True)
@@ -48,11 +59,23 @@ def _contraction_semiring(graph: DataflowGraph) -> str:
     cores are configured once before execution (Section IV-C3)."""
     names = {op.op_name for op in graph.contractions()}
     if not names:
-        raise CompileError(f"graph {graph.name!r} has no contraction to accelerate")
+        raise CompileError(
+            f"graph {graph.name!r} has no contraction to accelerate",
+            diagnostics=[Diagnostic.error(
+                "SP202",
+                f"graph {graph.name!r} has no contraction to accelerate",
+                location=f"graph {graph.name}",
+            )],
+        )
     if len(names) > 1:
         raise CompileError(
             f"graph {graph.name!r} mixes semirings {sorted(names)}; "
-            "Sparsepipe preloads a single opcode per kernel launch"
+            "Sparsepipe preloads a single opcode per kernel launch",
+            diagnostics=[Diagnostic.error(
+                "SP201",
+                f"graph {graph.name!r} mixes semirings {sorted(names)}",
+                location=f"graph {graph.name}",
+            )],
         )
     return names.pop()
 
@@ -70,13 +93,32 @@ def analyze(graph: DataflowGraph) -> DataflowAnalysis:
 def _validate_op_name(op: OpNode, arity: int) -> None:
     table = UNARY_OPS if arity == 1 else BINARY_OPS
     if op.op_name not in table:
+        kind = "unary" if arity == 1 else "binary"
         raise CompileError(
-            f"op {op.name!r}: {op.op_name!r} is not a known "
-            f"{'unary' if arity == 1 else 'binary'} operator"
+            f"op {op.name!r}: {op.op_name!r} is not a known {kind} operator",
+            diagnostics=[Diagnostic.error(
+                "SP103",
+                f"{op.op_name!r} is not a known {kind} operator",
+                location=f"op {op.name}",
+            )],
         )
 
 
-def compile_program(graph: DataflowGraph) -> OEIProgram:
+def _run_verifier(graph: DataflowGraph, verify: str) -> None:
+    """Run the static verifier pipeline in the requested mode."""
+    from repro.analysis.passes import verify_graph
+
+    report = verify_graph(graph)
+    if verify == "error":
+        report.raise_if_errors(
+            CompileError, header=f"graph {graph.name!r} failed verification"
+        )
+    else:
+        for diag in report:
+            warnings.warn(str(diag), DiagnosticWarning, stacklevel=3)
+
+
+def compile_program(graph: DataflowGraph, verify: str = "error") -> OEIProgram:
     """Lower a loop body to an :class:`OEIProgram`.
 
     The e-wise ops on the OEI path become the E-Wise core's instruction
@@ -84,7 +126,19 @@ def compile_program(graph: DataflowGraph) -> OEIProgram:
     model. Graphs without an OEI path (cg, bgs) compile to a program
     with ``has_oei=False`` that still benefits from producer-consumer
     fusion.
+
+    ``verify`` selects how the static verifier gates compilation:
+    ``"error"`` (default) raises on error-severity diagnostics,
+    ``"warn"`` reports every diagnostic as a :class:`DiagnosticWarning`,
+    and ``"off"`` skips verification entirely (the pre-verifier
+    behavior, bit-identical).
     """
+    if verify not in VERIFY_MODES:
+        raise ConfigError(
+            f"verify={verify!r} is not one of {VERIFY_MODES}"
+        )
+    if verify != "off":
+        _run_verifier(graph, verify)
     analysis = analyze(graph)
     path = analysis.oei_path
     total_ops = analysis.total_ewise_ops
@@ -143,7 +197,13 @@ def compile_program(graph: DataflowGraph) -> OEIProgram:
     else:
         raise CompileError(
             f"graph {graph.name!r}: OEI path does not produce the "
-            f"destination vector {final_name!r}"
+            f"destination vector {final_name!r}",
+            diagnostics=[Diagnostic.error(
+                "SP210",
+                f"OEI path does not produce the destination vector "
+                f"{final_name!r}",
+                location=f"graph {graph.name}",
+            )],
         )
 
     return OEIProgram(

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
-from repro.errors import CompileError
+from repro.errors import CompileError, Diagnostic
 
 
 class TensorKind(Enum):
@@ -75,6 +75,10 @@ class OpNode:
     op_name: str = ""
     scalar_operand: Optional[str] = None
     immediate: Optional[float] = None
+    #: Optional dataflow pin for contractions: ``"os"`` (column/CSC
+    #: order), ``"is"`` (row/CSR order), or ``None`` for either. The
+    #: verifier checks OEI pairs for OS->IS compatibility (SP205).
+    dataflow: Optional[str] = None
 
     def __repr__(self) -> str:
         ins = ", ".join(t.name for t in self.inputs)
@@ -90,6 +94,11 @@ class DataflowGraph:
     ops: List[OpNode] = field(default_factory=list)
     #: output tensor name -> input tensor name it feeds next iteration
     loop_carried: Dict[str, str] = field(default_factory=dict)
+    #: matrix tensor name -> storage sides available on chip (subset of
+    #: {"csc", "csr"}); matrices without an entry are assumed dual. The
+    #: verifier requires both sides on an OEI pair's shared matrix
+    #: (SP204).
+    matrix_formats: Dict[str, FrozenSet[str]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Construction API (used by the workload definitions)
@@ -102,15 +111,30 @@ class DataflowGraph:
             existing = self.tensors[name]
             if existing.kind != kind or existing.constant != constant:
                 raise CompileError(
-                    f"tensor {name!r} redeclared with different attributes"
+                    f"tensor {name!r} redeclared with different attributes",
+                    diagnostics=[Diagnostic.error(
+                        "SP112",
+                        f"tensor {name!r} redeclared as "
+                        f"{kind.value}/constant={constant}, previously "
+                        f"{existing.kind.value}/constant={existing.constant}",
+                        location=f"graph {self.name} / tensor {name}",
+                    )],
                 )
             return existing
         node = TensorNode(name, kind, constant)
         self.tensors[name] = node
         return node
 
-    def matrix(self, name: str, constant: bool = True) -> TensorNode:
-        return self.tensor(name, TensorKind.MATRIX, constant)
+    def matrix(
+        self, name: str, constant: bool = True,
+        formats: Optional[Sequence[str]] = None,
+    ) -> TensorNode:
+        """Declare a matrix; ``formats`` optionally restricts which
+        storage sides (``"csc"``/``"csr"``) the buffer holds for it."""
+        node = self.tensor(name, TensorKind.MATRIX, constant)
+        if formats is not None:
+            self.matrix_formats[name] = frozenset(formats)
+        return node
 
     def vector(self, name: str) -> TensorNode:
         return self.tensor(name, TensorKind.VECTOR)
@@ -123,19 +147,33 @@ class DataflowGraph:
         for t in list(op.inputs) + [op.output]:
             if t.name not in self.tensors:
                 raise CompileError(
-                    f"op {op.name!r} references undeclared tensor {t.name!r}"
+                    f"op {op.name!r} references undeclared tensor {t.name!r}",
+                    diagnostics=[Diagnostic.error(
+                        "SP114",
+                        f"op {op.name!r} references undeclared tensor "
+                        f"{t.name!r}",
+                        location=f"graph {self.name} / op {op.name}",
+                    )],
                 )
         if any(existing.name == op.name for existing in self.ops):
-            raise CompileError(f"duplicate op name {op.name!r}")
+            raise CompileError(
+                f"duplicate op name {op.name!r}",
+                diagnostics=[Diagnostic.error(
+                    "SP113", f"duplicate op name {op.name!r}",
+                    location=f"graph {self.name} / op {op.name}",
+                )],
+            )
         self.ops.append(op)
         return op
 
     def vxm(
         self, name: str, vector: TensorNode, matrix: TensorNode,
         output: TensorNode, semiring: str,
+        dataflow: Optional[str] = None,
     ) -> OpNode:
         return self.add_op(
-            OpNode(name, OpKind.VXM, (vector, matrix), output, op_name=semiring)
+            OpNode(name, OpKind.VXM, (vector, matrix), output,
+                   op_name=semiring, dataflow=dataflow)
         )
 
     def ewise(
@@ -210,7 +248,12 @@ class DataflowGraph:
                     remaining.remove(op)
                     progress = True
         if remaining:
+            stuck = [op.name for op in remaining]
             raise CompileError(
-                f"cycle among ops: {[op.name for op in remaining]}"
+                f"cycle among ops: {stuck}",
+                diagnostics=[Diagnostic.error(
+                    "SP107", f"cycle among ops {stuck}",
+                    location=f"graph {self.name}",
+                )],
             )
         return order

@@ -19,6 +19,7 @@ from repro.engine.cache import CODE_VERSION, ResultCache
 from repro.engine.instrumentation import (
     FILL_STEP,
     CounterObserver,
+    DiagnosticsObserver,
     EventLogObserver,
     Instrumentation,
     Observer,
@@ -38,6 +39,7 @@ __all__ = [
     "ArchSpec",
     "CODE_VERSION",
     "CounterObserver",
+    "DiagnosticsObserver",
     "Engine",
     "EventLogObserver",
     "FILL_STEP",

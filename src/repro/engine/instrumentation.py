@@ -70,6 +70,10 @@ class Observer:
     def on_prefetch(self, step: int, n_bytes: float) -> None:
         """The eager CSR loader prefetched ``n_bytes`` during ``step``."""
 
+    def on_diagnostic(self, diag) -> None:
+        """The static verifier reported a (possibly suppressed)
+        :class:`~repro.errors.Diagnostic` during this run."""
+
 
 class Instrumentation:
     """Fan-out dispatcher the simulator drives.
@@ -111,6 +115,10 @@ class Instrumentation:
     def prefetch(self, step: int, n_bytes: float) -> None:
         for o in self.observers:
             o.on_prefetch(step, n_bytes)
+
+    def diagnostic(self, diag) -> None:
+        for o in self.observers:
+            o.on_diagnostic(diag)
 
     def find(self, cls: type) -> Optional[Observer]:
         """First registered observer of ``cls`` (or None)."""
@@ -188,6 +196,33 @@ class CounterObserver(Observer):
         for cat, n in sorted(self.transfer_events.items()):
             out[f"transfers[{cat}]"] = float(n)
             out[f"transfer_bytes[{cat}]"] = float(self.transfer_bytes[cat])
+        return out
+
+
+class DiagnosticsObserver(Observer):
+    """Counts verifier diagnostics that surfaced (or were suppressed)
+    during a run, by severity and by code — a sweep over many workloads
+    can report lint health alongside its performance numbers instead of
+    silently discarding warnings."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.by_severity: Dict[str, int] = {}
+        self.by_code: Dict[str, int] = {}
+
+    def on_diagnostic(self, diag) -> None:
+        self.total += 1
+        sev = diag.severity.value
+        self.by_severity[sev] = self.by_severity.get(sev, 0) + 1
+        self.by_code[diag.code] = self.by_code.get(diag.code, 0) + 1
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary suitable for reports / JSON export."""
+        out: Dict[str, float] = {"diagnostics": float(self.total)}
+        for sev, n in sorted(self.by_severity.items()):
+            out[f"diagnostics[{sev}]"] = float(n)
+        for code, n in sorted(self.by_code.items()):
+            out[f"diagnostics[{code}]"] = float(n)
         return out
 
 

@@ -23,6 +23,7 @@ from repro.arch.config import SparsepipeConfig
 from repro.arch.profile import WorkloadProfile
 from repro.arch.stats import SimResult
 from repro.engine.cache import ResultCache
+from repro.engine.instrumentation import DiagnosticsObserver
 from repro.engine.parallel import parallel_map
 from repro.engine.registry import arch_names, create_engine, get_arch
 from repro.graphblas.matrix import Matrix
@@ -76,6 +77,10 @@ class ExperimentContext:
         self._disk: Optional[ResultCache] = (
             ResultCache(self.cache_dir) if self.cache_dir else None
         )
+        #: Collects every verifier diagnostic the sweep would otherwise
+        #: silently suppress (warnings on otherwise-clean workloads).
+        self.diagnostics = DiagnosticsObserver()
+        self._linted: set = set()
 
     # ------------------------------------------------------------------
     # Cached intermediates
@@ -109,8 +114,26 @@ class ExperimentContext:
         key = (workload_name, matrix_name)
         if key not in self._profiles:
             workload = get_workload(workload_name)
+            self._lint_once(workload_name, workload)
             self._profiles[key] = workload.profile(self.graphblas_matrix(matrix_name))
         return self._profiles[key]
+
+    def _lint_once(self, workload_name: str, workload) -> None:
+        """Feed the workload's verifier diagnostics (warnings the
+        default ``verify="error"`` mode suppresses) to the diagnostics
+        observer — once per workload, not once per matrix."""
+        if workload_name in self._linted:
+            return
+        self._linted.add(workload_name)
+        from repro.analysis.passes import verify_graph
+
+        for diag in verify_graph(workload.build_graph()):
+            self.diagnostics.on_diagnostic(diag)
+
+    def lint_health(self) -> Dict[str, float]:
+        """Suppressed-diagnostic counts across every workload this
+        context has profiled (severity and code histograms)."""
+        return self.diagnostics.as_dict()
 
     # ------------------------------------------------------------------
     # Simulation

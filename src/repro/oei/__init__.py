@@ -15,6 +15,7 @@ from repro.oei.reuse import ReuseStats, reuse_footprint
 from repro.oei.validate import (
     ScheduleTimeline,
     assert_oei_matches_reference,
+    replay_schedule,
     validate_schedule,
 )
 
@@ -27,6 +28,7 @@ __all__ = [
     "ReuseStats",
     "reuse_footprint",
     "ScheduleTimeline",
+    "replay_schedule",
     "validate_schedule",
     "assert_oei_matches_reference",
 ]

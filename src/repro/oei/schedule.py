@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from repro.util.validation import check_positive
+from repro.errors import ConfigError, Diagnostic
 
 #: Stage skews relative to the OS stage, in steps (Fig 8).
 EWISE_LAG = 1
@@ -46,9 +46,19 @@ class OEISchedule:
     subtensor_cols: int
 
     def __post_init__(self) -> None:
-        check_positive("subtensor_cols", self.subtensor_cols)
-        if self.n < 0:
-            raise ValueError(f"n must be non-negative, got {self.n}")
+        if self.subtensor_cols <= 0 or self.n < 0:
+            message = (
+                f"n={self.n} must be non-negative and "
+                f"subtensor_cols={self.subtensor_cols} positive"
+            )
+            raise ConfigError(
+                message,
+                diagnostics=[Diagnostic.error(
+                    "SP306", message,
+                    location=f"OEISchedule(n={self.n}, "
+                             f"subtensor_cols={self.subtensor_cols})",
+                )],
+            )
 
     @property
     def n_subtensors(self) -> int:

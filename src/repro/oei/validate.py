@@ -16,10 +16,11 @@ Two levels of checking:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Mapping, Optional
+from typing import Callable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.diagnostics import DiagnosticReport
 from repro.dataflow.program import OEIProgram
 from repro.errors import ScheduleError
 from repro.formats.csc import CSCMatrix
@@ -38,40 +39,59 @@ class ScheduleTimeline:
     is_done: List[int] = field(default_factory=list)
 
 
-def validate_schedule(n: int, subtensor_cols: int) -> ScheduleTimeline:
-    """Structurally validate the OEI schedule for an ``n``-column
-    matrix; raises :class:`ScheduleError` on any dependency violation.
+def replay_schedule(
+    n: int,
+    subtensor_cols: int,
+    ewise_lag: int = EWISE_LAG,
+    is_lag: int = IS_LAG,
+) -> Tuple[ScheduleTimeline, DiagnosticReport]:
+    """Replay the pipeline-step schedule and report *every* dependency
+    or coverage violation as diagnostics (SP304/SP305) — the same
+    report format the static verifier uses, so static and replay checks
+    compose into one lint output.
+
+    ``ewise_lag``/``is_lag`` default to the Fig 8 skew; passing broken
+    lags exercises the detector (and the golden tests).
 
     Checks, per step ``s``:
 
     1. the E-Wise stage only touches a sub-tensor whose OS output
-       already exists (``os`` finished it at least ``EWISE_LAG`` steps
-       earlier — one step, per Fig 8),
+       already exists (``os`` finished it at least one step earlier,
+       per Fig 8),
     2. the IS stage only touches a sub-tensor whose e-wise output
        already exists,
     3. at drain, every stage has processed every sub-tensor exactly
        once, in order.
     """
     schedule = OEISchedule(n, subtensor_cols)
-    timeline = ScheduleTimeline(schedule.n_steps)
+    n_steps = schedule.n_subtensors + max(0, ewise_lag, is_lag) \
+        if schedule.n_subtensors else 0
+    timeline = ScheduleTimeline(n_steps)
+    report = DiagnosticReport(
+        subject=f"schedule replay (n={n}, subtensor_cols={subtensor_cols})"
+    )
     os_finished = -1
     ewise_finished = -1
-    for step in range(schedule.n_steps):
-        os_st = schedule.os_at(step)
-        ew_st = schedule.ewise_at(step)
-        is_st = schedule.is_at(step)
+    for step in range(n_steps):
+        os_st = schedule._stage_at(step, 0)
+        ew_st = schedule._stage_at(step, ewise_lag)
+        is_st = schedule._stage_at(step, is_lag)
         if ew_st is not None:
             if ew_st.index > os_finished:
-                raise ScheduleError(
-                    f"step {step}: e-wise consumes sub-tensor {ew_st.index} "
-                    f"but OS has only finished {os_finished}"
+                report.add(
+                    "SP304",
+                    f"e-wise consumes sub-tensor {ew_st.index} but OS has "
+                    f"only finished {os_finished}",
+                    f"step {step}",
                 )
             timeline.ewise_done.append(ew_st.index)
         if is_st is not None:
             if is_st.index > ewise_finished:
-                raise ScheduleError(
-                    f"step {step}: IS consumes sub-tensor {is_st.index} "
-                    f"but e-wise has only finished {ewise_finished}"
+                report.add(
+                    "SP304",
+                    f"IS consumes sub-tensor {is_st.index} but e-wise has "
+                    f"only finished {ewise_finished}",
+                    f"step {step}",
                 )
             timeline.is_done.append(is_st.index)
         # Stage completions land at end-of-step: OS output of step s is
@@ -89,9 +109,30 @@ def validate_schedule(n: int, subtensor_cols: int) -> ScheduleTimeline:
         ("IS", timeline.is_done),
     ):
         if done != expected:
-            raise ScheduleError(
-                f"{stage_name} stage processed {done}, expected {expected}"
+            report.add(
+                "SP305",
+                f"{stage_name} stage processed {done}, expected {expected}",
+                f"schedule (n={n}, subtensor_cols={subtensor_cols})",
             )
+    return timeline, report
+
+
+def validate_schedule(
+    n: int,
+    subtensor_cols: int,
+    ewise_lag: int = EWISE_LAG,
+    is_lag: int = IS_LAG,
+) -> ScheduleTimeline:
+    """Structurally validate the OEI schedule for an ``n``-column
+    matrix; raises :class:`ScheduleError` carrying every collected
+    diagnostic (not just the first) on any violation. See
+    :func:`replay_schedule` for the individual checks."""
+    timeline, report = replay_schedule(n, subtensor_cols, ewise_lag, is_lag)
+    report.raise_if_errors(
+        ScheduleError,
+        header=f"OEI schedule (n={n}, subtensor_cols={subtensor_cols}) "
+               "violates the Fig 8 skew",
+    )
     return timeline
 
 

@@ -56,6 +56,14 @@ class Workload(ABC):
             self._program = compile_program(self.build_graph())
         return self._program
 
+    def lint(self):
+        """Full static-analysis report for this workload — graph
+        verifier, then (when the graph is clean) program and schedule
+        checks on the compiled output. See :mod:`repro.analysis`."""
+        from repro.analysis.passes import lint_workload
+
+        return lint_workload(self)
+
     # ------------------------------------------------------------------
     # Functional view
     # ------------------------------------------------------------------

@@ -51,3 +51,12 @@ def get_workload(name: str) -> Workload:
         raise ConfigError(
             f"unknown workload {name!r}; available: {workload_names()}"
         ) from None
+
+
+def lint_registry(names: List[str] = None) -> Dict[str, "DiagnosticReport"]:
+    """Static-analysis report for every (or the named) registered
+    workload, keyed by Table-III short name."""
+    from repro.analysis.diagnostics import DiagnosticReport  # noqa: F401
+
+    targets = workload_names() if not names else list(names)
+    return {name: get_workload(name).lint() for name in targets}

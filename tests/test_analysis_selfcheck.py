@@ -1,0 +1,181 @@
+"""Tests for the AST self-lint (repro.analysis.selfcheck)."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.selfcheck import selfcheck
+
+
+def write_tree(root: Path, files: dict) -> Path:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+class TestRealTree:
+    def test_library_is_clean(self):
+        report = selfcheck()
+        assert report.ok, report.format()
+
+    def test_library_has_no_warnings_either(self):
+        assert len(selfcheck()) == 0
+
+
+class TestForbiddenImports:
+    def test_sp901_scipy_import(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": "import scipy.sparse\n"})
+        report = selfcheck(tmp_path)
+        assert report.has("SP901")
+
+    def test_sp901_networkx_from_import(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": "from networkx import DiGraph\n"})
+        assert selfcheck(tmp_path).has("SP901")
+
+    def test_numpy_is_allowed(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": "import numpy as np\n"})
+        assert not selfcheck(tmp_path).has("SP901")
+
+
+class TestBaselineRegistration:
+    def test_sp902_unregistered_engine(self, tmp_path):
+        write_tree(tmp_path, {
+            "baselines/rogue.py": """
+                class RogueEngine:
+                    def run(self, profile, prep, paper_nnz=None):
+                        return None
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP902")
+
+    def test_registered_engine_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "baselines/good.py": """
+                from repro.engine.registry import register_arch
+
+                @register_arch("good", description="ok")
+                class GoodEngine:
+                    def run(self, profile, prep, paper_nnz=None):
+                        return None
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP902")
+
+    def test_helper_module_without_engines_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "baselines/util.py": "def helper():\n    return 1\n",
+        })
+        assert not selfcheck(tmp_path).has("SP902")
+
+
+class TestCacheKeyFields:
+    def test_sp903_field_missing_from_cache_key(self, tmp_path):
+        write_tree(tmp_path, {
+            "config.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class Cfg:
+                    lanes: int = 8
+                    buffer_kb: int = 512
+
+                    def cache_key(self):
+                        return str(self.lanes)  # forgets buffer_kb
+            """,
+        })
+        report = selfcheck(tmp_path)
+        assert report.has("SP903")
+        assert "buffer_kb" in str(report.errors[0])
+
+    def test_asdict_wholesale_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "config.py": """
+                from dataclasses import asdict, dataclass
+
+                @dataclass(frozen=True)
+                class Cfg:
+                    lanes: int = 8
+                    buffer_kb: int = 512
+
+                    def cache_key(self):
+                        return str(sorted(asdict(self).items()))
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP903")
+
+    def test_explicit_every_field_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "config.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class Cfg:
+                    lanes: int = 8
+                    buffer_kb: int = 512
+
+                    def cache_key(self):
+                        return f"{self.lanes}-{self.buffer_kb}"
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP903")
+
+    def test_dataclass_without_cache_key_is_ignored(self, tmp_path):
+        write_tree(tmp_path, {
+            "config.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class Plain:
+                    x: int = 0
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP903")
+
+
+class TestDeterminism:
+    def test_sp904_random_import_in_hot_path(self, tmp_path):
+        write_tree(tmp_path, {"arch/sim.py": "import random\n"})
+        assert selfcheck(tmp_path).has("SP904")
+
+    def test_sp904_unseeded_default_rng(self, tmp_path):
+        write_tree(tmp_path, {
+            "oei/exec.py": """
+                import numpy as np
+                rng = np.random.default_rng()
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP904")
+
+    def test_seeded_default_rng_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "oei/exec.py": """
+                import numpy as np
+                rng = np.random.default_rng(7)
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP904")
+
+    def test_sp904_wall_clock_in_hot_path(self, tmp_path):
+        write_tree(tmp_path, {
+            "engine/timer.py": """
+                import time
+
+                def stamp():
+                    return time.perf_counter()
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP904")
+
+    def test_wall_clock_outside_hot_path_is_allowed(self, tmp_path):
+        write_tree(tmp_path, {
+            "experiments/bench.py": """
+                import time
+
+                def stamp():
+                    return time.perf_counter()
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP904")

@@ -70,6 +70,29 @@ class TestCommands:
         assert "Table I" in capsys.readouterr().out
 
 
+class TestLintCommands:
+    def test_lint_all_workloads(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "pr: ok" in out
+        assert "0 error(s)" in out
+
+    def test_lint_named_workload(self, capsys):
+        assert main(["lint", "cg"]) == 0
+        out = capsys.readouterr().out
+        assert "SP203" in out  # cg's reduction-scalar warning surfaces
+
+    def test_lint_unknown_workload(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["lint", "nope"])
+
+    def test_selfcheck(self, capsys):
+        assert main(["selfcheck"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
 class TestExportCommand:
     def test_export_writes_json(self, tmp_path, monkeypatch, capsys):
         import repro.__main__ as cli
