@@ -9,6 +9,8 @@ Commands
 - ``footprint``                 — Table I over the built-in suite
 - ``lint [workload ...]``       — static verifier over workload graphs
 - ``selfcheck``                 — AST self-lint of the library source
+- ``trace <workload> -o t.json``— export a Chrome/Perfetto trace plus
+  run manifest of one simulated run (load in https://ui.perfetto.dev)
 
 ``--jobs N`` fans sweeps out over N worker processes; ``--cache DIR``
 persists simulation results on disk so reruns skip straight to the
@@ -150,6 +152,24 @@ def _cmd_selfcheck(_args: argparse.Namespace) -> int:
     return 1 if report.errors else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import capture_run
+
+    cap = capture_run(
+        args.workload, matrix=args.matrix, arch=args.arch, seed=args.seed
+    )
+    trace_path, manifest_path = cap.write_trace(args.out)
+    result = cap.result
+    print(f"{args.workload} on {args.matrix} ({args.arch}): "
+          f"{round(result.cycles)} cycles, "
+          f"{result.total_bytes / 1e6:.2f} MB DRAM, "
+          f"{cap.timeline.steps} steps")
+    print(f"wrote {trace_path} ({len(cap.timeline.events)} events)")
+    print(f"wrote {manifest_path} (digest {cap.manifest.digest()})")
+    print("load the trace in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.experiments import summary
 
@@ -209,6 +229,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_parser("selfcheck", help="AST self-lint of the library source")
 
+    p_tr = sub.add_parser(
+        "trace", help="export a Chrome/Perfetto trace of one simulated run"
+    )
+    p_tr.add_argument("workload", help="workload name (see 'list')")
+    p_tr.add_argument("-m", "--matrix", default="gy",
+                      help="suite matrix name (default: gy)")
+    p_tr.add_argument("-a", "--arch", default="sparsepipe",
+                      help="observable architecture (default: sparsepipe)")
+    p_tr.add_argument("-o", "--out", default="trace.json", metavar="PATH",
+                      help="output trace path (default: trace.json)")
+    p_tr.add_argument("--seed", type=int, default=0,
+                      help="seed recorded in the run manifest")
+
     p_sum = sub.add_parser(
         "summary", help="all Section VI headline claims, paper vs measured"
     )
@@ -230,6 +263,7 @@ def main(argv: List[str] = None) -> int:
         "footprint": _cmd_footprint,
         "lint": _cmd_lint,
         "selfcheck": _cmd_selfcheck,
+        "trace": _cmd_trace,
         "summary": _cmd_summary,
         "export": _cmd_export,
     }

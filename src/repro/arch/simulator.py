@@ -17,6 +17,12 @@ so the returned :class:`SimResult` carries Fig 15's bandwidth samples
 exactly as before; pass ``observers=()`` for the zero-observer fast
 path (no per-step recording, ``bandwidth_samples=[]``) when only the
 aggregate numbers matter — sweeps and autotuning, for instance.
+
+The observability layer (:mod:`repro.obs`) builds on the same stream:
+a :class:`~repro.obs.timeline.TimelineObserver` exports the run as a
+Chrome/Perfetto trace and a :class:`~repro.obs.metrics.MetricsObserver`
+feeds the shared metrics registry — ``python -m repro trace`` attaches
+both.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ VECTOR_ELEMENT_BYTES = 8.0
     "sparsepipe",
     takes_config=True,
     description="the Sparsepipe OEI pipeline simulator (Sections IV-V)",
+    observable=True,
 )
 class SparsepipeSimulator:
     """Simulates one Sparsepipe instance over (workload, matrix) pairs."""

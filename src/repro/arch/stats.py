@@ -48,6 +48,20 @@ class TrafficBreakdown:
             + self.bytes_by_category["csr_reload"]
         )
 
+    @property
+    def prefetch_hit_ratio(self) -> float:
+        """Fraction of row traffic served by the eager prefetcher
+        rather than ping-pong reloads: eager / (eager + reload), 0.0
+        when no row bytes moved (Fig 9 vs Fig 15d)."""
+        eager = self.bytes_by_category["csr_eager"]
+        reload_ = self.bytes_by_category["csr_reload"]
+        total = eager + reload_
+        return eager / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Per-category bytes, canonical order, JSON-plain."""
+        return {c: float(self.bytes_by_category[c]) for c in TRAFFIC_CATEGORIES}
+
     def merged(self, other: "TrafficBreakdown") -> "TrafficBreakdown":
         out = TrafficBreakdown()
         for cat in TRAFFIC_CATEGORIES:

@@ -15,7 +15,7 @@ of the individual models and drivers:
   behind ``ExperimentContext.simulate_many``.
 """
 
-from repro.engine.cache import CODE_VERSION, ResultCache
+from repro.engine.cache import CODE_VERSION, CacheEntry, ResultCache
 from repro.engine.instrumentation import (
     FILL_STEP,
     CounterObserver,
@@ -38,6 +38,7 @@ from repro.engine.registry import (
 __all__ = [
     "ArchSpec",
     "CODE_VERSION",
+    "CacheEntry",
     "CounterObserver",
     "DiagnosticsObserver",
     "Engine",

@@ -12,7 +12,11 @@ content hash, never ``id()``) and ``code_version`` is this module's
 :data:`CODE_VERSION` — bump it whenever simulator semantics change and
 every stale entry misses. Each file stores its full key alongside the
 serialized :class:`~repro.arch.stats.SimResult`, so hash collisions
-and hand-edited files degrade to a miss, never a wrong result. Writes
+and hand-edited files degrade to a miss, never a wrong result. Entries
+may also carry a :class:`~repro.obs.manifest.RunManifest` recording
+the producing run's provenance; :meth:`ResultCache.get_entry` returns
+it marked ``from_cache=True`` so served and fresh results stay
+distinguishable. Writes
 go through a per-process temp file and an atomic rename, so concurrent
 writers (e.g. ``simulate_many`` fan-out parents) cannot tear entries.
 """
@@ -22,14 +26,24 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.arch.stats import SimResult
+from repro.obs.manifest import RunManifest
 
 #: Bump whenever a change to the simulators alters results — every
 #: cache entry written under another version becomes a miss.
 CODE_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cache hit: the result plus its (optional) run manifest."""
+
+    result: SimResult
+    manifest: Optional[RunManifest] = None
 
 
 class ResultCache:
@@ -73,6 +87,18 @@ class ResultCache:
         self, arch, workload, matrix, config_key, reorder, block_size
     ) -> Optional[SimResult]:
         """Cached result for one point, or None on any kind of miss."""
+        entry = self.get_entry(
+            arch, workload, matrix, config_key, reorder, block_size
+        )
+        return None if entry is None else entry.result
+
+    def get_entry(
+        self, arch, workload, matrix, config_key, reorder, block_size
+    ) -> Optional["CacheEntry"]:
+        """Cached result *with provenance*: the stored run manifest is
+        returned marked ``from_cache=True`` (``None`` for entries
+        written before manifests existed, or by manifest-less callers).
+        """
         path, key = self._entry(
             arch, workload, matrix, config_key, reorder, block_size
         )
@@ -83,19 +109,32 @@ class ResultCache:
         if doc.get("key") != key:
             return None
         try:
-            return SimResult.from_dict(doc["result"])
+            result = SimResult.from_dict(doc["result"])
         except (KeyError, TypeError, ValueError):
             return None
+        manifest = None
+        if doc.get("manifest") is not None:
+            try:
+                manifest = RunManifest.from_dict(
+                    doc["manifest"]
+                ).served_from_cache()
+            except (KeyError, TypeError, ValueError):
+                manifest = None  # auditing data is best-effort
+        return CacheEntry(result=result, manifest=manifest)
 
     def put(
         self, arch, workload, matrix, config_key, reorder, block_size,
-        result: SimResult,
+        result: SimResult, manifest: Optional[RunManifest] = None,
     ) -> Path:
         """Store one result; atomic against concurrent readers/writers."""
         path, key = self._entry(
             arch, workload, matrix, config_key, reorder, block_size
         )
-        doc = {"key": key, "result": result.to_dict()}
+        doc = {
+            "key": key,
+            "result": result.to_dict(),
+            "manifest": None if manifest is None else manifest.to_dict(),
+        }
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(doc, sort_keys=True))
         tmp.replace(path)

@@ -203,18 +203,30 @@ class DiagnosticsObserver(Observer):
     """Counts verifier diagnostics that surfaced (or were suppressed)
     during a run, by severity and by code — a sweep over many workloads
     can report lint health alongside its performance numbers instead of
-    silently discarding warnings."""
+    silently discarding warnings.
 
-    def __init__(self) -> None:
+    ``registry`` (any object with a ``counter(name).inc()`` interface,
+    duck-typed to avoid an import cycle with :mod:`repro.obs.metrics`)
+    mirrors every count into the shared metrics registry under
+    ``diagnostics.total`` / ``diagnostics.severity.<sev>`` /
+    ``diagnostics.code.<code>``.
+    """
+
+    def __init__(self, registry=None) -> None:
         self.total = 0
         self.by_severity: Dict[str, int] = {}
         self.by_code: Dict[str, int] = {}
+        self.registry = registry
 
     def on_diagnostic(self, diag) -> None:
         self.total += 1
         sev = diag.severity.value
         self.by_severity[sev] = self.by_severity.get(sev, 0) + 1
         self.by_code[diag.code] = self.by_code.get(diag.code, 0) + 1
+        if self.registry is not None:
+            self.registry.counter("diagnostics.total").inc()
+            self.registry.counter(f"diagnostics.severity.{sev}").inc()
+            self.registry.counter(f"diagnostics.code.{diag.code}").inc()
 
     def as_dict(self) -> Dict[str, float]:
         """Flat summary suitable for reports / JSON export."""

@@ -56,12 +56,20 @@ class Engine(Protocol):
 
 @dataclass(frozen=True)
 class ArchSpec:
-    """One registered architecture."""
+    """One registered architecture.
+
+    ``observable`` marks engines whose ``run`` accepts an
+    ``observers=`` sequence and streams instrumentation events
+    (:mod:`repro.engine.instrumentation`) — the ones ``python -m repro
+    trace`` and the observability layer (:mod:`repro.obs`) can attach
+    timelines and live metrics to.
+    """
 
     name: str
     factory: Callable[[Optional["SparsepipeConfig"]], Engine]
     takes_config: bool
     description: str = ""
+    observable: bool = False
 
 
 _REGISTRY: Dict[str, ArchSpec] = {}
@@ -74,7 +82,8 @@ _BUILTIN_ORDER = ("sparsepipe", "ideal", "oracle", "cpu", "gpu", "software_oei")
 
 
 def register_arch(
-    name: str, *, takes_config: bool = True, description: str = ""
+    name: str, *, takes_config: bool = True, description: str = "",
+    observable: bool = False,
 ) -> Callable[[type], type]:
     """Class decorator registering an architecture model.
 
@@ -82,6 +91,8 @@ def register_arch(
     (or ``cls()`` when no config is supplied); ``takes_config=False``
     engines are constructed as ``cls()`` and the config is ignored —
     the CPU/GPU framework models carry their own hardware constants.
+    ``observable=True`` declares that ``run`` accepts ``observers=``
+    and streams the instrumentation event contract.
     """
     if not name or not isinstance(name, str):
         raise ConfigError(f"architecture name must be a non-empty string, got {name!r}")
@@ -100,6 +111,7 @@ def register_arch(
             factory=factory,
             takes_config=takes_config,
             description=description or (cls.__doc__ or "").strip().splitlines()[0],
+            observable=observable,
         )
         return cls
 

@@ -86,6 +86,12 @@ def collect_all(context: Optional[ExperimentContext] = None) -> Dict[str, object
     ]
     doc["fig23"] = [asdict(r) for r in fig23.run(context)]
     doc["summary"] = [asdict(c) for c in summary.run(context)]
+    # Observability artifacts: the sweep-wide metrics registry and one
+    # provenance manifest per simulated (or cache-served) point.
+    doc["metrics"] = context.metrics.to_dict()
+    doc["manifests"] = [
+        m.to_dict() for m in context.manifests.values()
+    ]
     return doc
 
 

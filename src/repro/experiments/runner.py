@@ -11,6 +11,13 @@ keys are content hashes (:meth:`SparsepipeConfig.cache_key`), shared
 by the optional on-disk cache (``cache_dir``) so repeated figure and
 benchmark runs are near-free, and :meth:`simulate_many` fans a sweep
 out over a process pool with deterministic, serial-identical results.
+
+Observability (:mod:`repro.obs`): every fresh simulation reports
+through the context's :class:`~repro.obs.metrics.MetricsRegistry`
+(``context.metrics`` / :meth:`ExperimentContext.metrics_report`), and
+every produced or cache-served result carries a
+:class:`~repro.obs.manifest.RunManifest`
+(:meth:`ExperimentContext.manifest`) so sweeps stay auditable.
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ from repro.engine.parallel import parallel_map
 from repro.engine.registry import arch_names, create_engine, get_arch
 from repro.graphblas.matrix import Matrix
 from repro.matrices.suite import SUITE, load_suite_matrix, suite_names
+from repro.obs.manifest import RunManifest, Stopwatch, build_manifest
+from repro.obs.metrics import MetricsRegistry, registry_from_result
 from repro.preprocess.pipeline import PreprocessResult, preprocess
 from repro.workloads.registry import get_workload, workload_names
 
@@ -77,9 +86,18 @@ class ExperimentContext:
         self._disk: Optional[ResultCache] = (
             ResultCache(self.cache_dir) if self.cache_dir else None
         )
+        #: Sweep-wide metrics: every fresh simulation reports through
+        #: the one-schema registry (cycles, DRAM bytes by category,
+        #: buffer peaks, ...), plus cache hit/miss counters.
+        self.metrics = MetricsRegistry()
+        #: Run manifests by result key — provenance for every result
+        #: this context has produced or served (``from_cache`` marks
+        #: disk-cache hits).
+        self.manifests: Dict[Tuple, RunManifest] = {}
         #: Collects every verifier diagnostic the sweep would otherwise
-        #: silently suppress (warnings on otherwise-clean workloads).
-        self.diagnostics = DiagnosticsObserver()
+        #: silently suppress (warnings on otherwise-clean workloads);
+        #: counts mirror into :attr:`metrics` under ``diagnostics.*``.
+        self.diagnostics = DiagnosticsObserver(registry=self.metrics)
         self._linted: set = set()
 
     # ------------------------------------------------------------------
@@ -176,20 +194,71 @@ class ExperimentContext:
         reorder, block_size = self._resolve(reorder, block_size)
         key = self._result_key(arch, workload_name, matrix_name, cfg, reorder, block_size)
         if key in self._results:
+            self.metrics.counter("cache.memory_hits").inc()
             return self._results[key]
         if self._disk is not None:
-            hit = self._disk.get(*key)
-            if hit is not None:
-                self._results[key] = hit
-                return hit
+            entry = self._disk.get_entry(*key)
+            if entry is not None:
+                self.metrics.counter("cache.disk_hits").inc()
+                self._results[key] = entry.result
+                self.manifests[key] = (
+                    entry.manifest
+                    if entry.manifest is not None
+                    else self._manifest_for(key, entry.result, from_cache=True)
+                )
+                return entry.result
         profile = self.profile(workload_name, matrix_name)
         prep = self.prepared(matrix_name, reorder=reorder, block_size=block_size)
         paper_nnz = SUITE[matrix_name].paper_nnz
-        result = create_engine(arch, cfg).run(profile, prep, paper_nnz=paper_nnz)
-        self._results[key] = result
-        if self._disk is not None:
-            self._disk.put(*key, result=result)
+        with Stopwatch() as watch:
+            result = create_engine(arch, cfg).run(profile, prep, paper_nnz=paper_nnz)
+        self._record_fresh(key, result, wall_time_s=watch.elapsed)
         return result
+
+    def _manifest_for(
+        self, key: Tuple, result: SimResult,
+        wall_time_s: Optional[float] = None, from_cache: bool = False,
+    ) -> RunManifest:
+        arch, workload, matrix, _config_key, reorder, block_size = key
+        return build_manifest(
+            arch, workload, matrix, _config_key, reorder, block_size,
+            result=result, wall_time_s=wall_time_s, from_cache=from_cache,
+        )
+
+    def _record_fresh(
+        self, key: Tuple, result: SimResult,
+        wall_time_s: Optional[float] = None,
+    ) -> None:
+        """Account one freshly simulated result: aggregate its metrics
+        into the sweep registry, build its manifest, persist both."""
+        self._results[key] = result
+        registry_from_result(result, registry=self.metrics)
+        manifest = self._manifest_for(key, result, wall_time_s=wall_time_s)
+        self.manifests[key] = manifest
+        if self._disk is not None:
+            self._disk.put(*key, result=result, manifest=manifest)
+
+    def manifest(
+        self,
+        arch: str,
+        workload_name: str,
+        matrix_name: str,
+        config: Optional[SparsepipeConfig] = None,
+        reorder: Optional[str] = "default",
+        block_size: object = "default",
+    ) -> Optional[RunManifest]:
+        """Provenance manifest for one already-simulated point (None
+        if :meth:`simulate` has not produced or served it yet)."""
+        cfg = config or self.config
+        reorder, block_size = self._resolve(reorder, block_size)
+        key = self._result_key(
+            arch, workload_name, matrix_name, cfg, reorder, block_size
+        )
+        return self.manifests.get(key)
+
+    def metrics_report(self) -> str:
+        """The sweep-wide metrics registry as aligned text."""
+        return self.metrics.format_text()
 
     def simulate_many(
         self,
@@ -225,9 +294,15 @@ class ExperimentContext:
             if key in self._results or key in seen:
                 continue
             if self._disk is not None:
-                hit = self._disk.get(*key)
-                if hit is not None:
-                    self._results[key] = hit
+                entry = self._disk.get_entry(*key)
+                if entry is not None:
+                    self.metrics.counter("cache.disk_hits").inc()
+                    self._results[key] = entry.result
+                    self.manifests[key] = (
+                        entry.manifest
+                        if entry.manifest is not None
+                        else self._manifest_for(key, entry.result, from_cache=True)
+                    )
                     continue
             seen.add(key)
             missing.append(point)
@@ -247,9 +322,9 @@ class ExperimentContext:
                 )
                 for point, result in zip(ordered, computed):
                     key = self._result_key(*point, cfg, reorder, block_size)
-                    self._results[key] = result
-                    if self._disk is not None:
-                        self._disk.put(*key, result=result)
+                    # Wall time is unknown per point in the fan-out;
+                    # the manifest records None rather than a guess.
+                    self._record_fresh(key, result)
             else:
                 for arch, workload, matrix in missing:
                     self.simulate(

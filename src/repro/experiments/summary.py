@@ -130,6 +130,7 @@ def run(context: Optional[ExperimentContext] = None) -> List[Claim]:
 
 
 def main(context: Optional[ExperimentContext] = None) -> str:
+    context = context or ExperimentContext()
     claims = run(context)
     text = format_table(
         ["claim", "paper", "measured", "holds"],
@@ -138,6 +139,8 @@ def main(context: Optional[ExperimentContext] = None) -> str:
     )
     n_hold = sum(c.holds for c in claims)
     text += f"\n{n_hold}/{len(claims)} claims hold"
+    text += "\n\nsweep metrics (repro.obs registry):\n"
+    text += context.metrics_report()
     print(text)
     return text
 

@@ -1,0 +1,62 @@
+"""The observability layer: durable, queryable artifacts from the
+simulator event stream.
+
+Three concerns, one package:
+
+- :mod:`repro.obs.timeline` — :class:`TimelineObserver` rebuilds the
+  per-core/per-stage pipeline timeline and exports Chrome/Perfetto
+  ``trace_event`` JSON (``python -m repro trace``),
+- :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of named
+  counters/gauges/histograms every architecture reports through, fed
+  either live (:class:`MetricsObserver`) or from a final result
+  (:func:`registry_from_result`),
+- :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records
+  (config hash, seed, git rev, metrics digest, wall-time) attached to
+  every cached and fresh result.
+
+See ``docs/observability.md`` for the metric catalogue, the trace
+loading instructions, and the manifest schema.
+"""
+
+from repro.obs.capture import CaptureResult, capture_run
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    Stopwatch,
+    build_manifest,
+    git_revision,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsObserver,
+    MetricsRegistry,
+    dram_metric,
+    prefetch_hit_ratio,
+    registry_from_result,
+)
+from repro.obs.timeline import (
+    TimelineObserver,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "CaptureResult",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "RunManifest",
+    "Stopwatch",
+    "TimelineObserver",
+    "build_manifest",
+    "capture_run",
+    "dram_metric",
+    "git_revision",
+    "prefetch_hit_ratio",
+    "registry_from_result",
+    "validate_chrome_trace",
+]

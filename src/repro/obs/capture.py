@@ -1,0 +1,93 @@
+"""One-call trace capture: run a workload with full observability.
+
+``capture_run`` wires a :class:`~repro.obs.timeline.TimelineObserver`
+and a :class:`~repro.obs.metrics.MetricsObserver` into one simulated
+run and returns the result, the timeline, the filled metrics registry,
+and the run manifest — the engine behind ``python -m repro trace``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.arch.config import SparsepipeConfig
+from repro.arch.stats import SimResult
+from repro.engine.registry import create_engine, get_arch
+from repro.errors import ConfigError
+from repro.graphblas.matrix import Matrix
+from repro.matrices.suite import SUITE, load_suite_matrix
+from repro.obs.manifest import RunManifest, Stopwatch, build_manifest
+from repro.obs.metrics import MetricsObserver, MetricsRegistry
+from repro.obs.timeline import TimelineObserver
+from repro.preprocess.pipeline import preprocess
+from repro.workloads.registry import get_workload
+
+
+@dataclass
+class CaptureResult:
+    """Everything one observed run produced."""
+
+    result: SimResult
+    timeline: TimelineObserver
+    metrics: MetricsRegistry
+    manifest: RunManifest
+
+    def write_trace(self, path: Union[str, Path]) -> Tuple[Path, Path]:
+        """Write the Chrome trace JSON plus a sidecar manifest file
+        (``<name>.manifest.json``); returns both paths."""
+        trace_path = self.timeline.write(path, manifest=self.manifest)
+        manifest_path = trace_path.with_name(
+            trace_path.stem + ".manifest.json"
+        )
+        manifest_path.write_text(
+            json.dumps(self.manifest.to_dict(), sort_keys=True, indent=1)
+        )
+        return trace_path, manifest_path
+
+
+def capture_run(
+    workload: str,
+    matrix: str = "gy",
+    arch: str = "sparsepipe",
+    config: Optional[SparsepipeConfig] = None,
+    reorder: Optional[str] = "vanilla",
+    block_size: Optional[int] = 256,
+    seed: int = 0,
+) -> CaptureResult:
+    """Simulate one (workload, matrix) with observers attached.
+
+    Only architectures registered ``observable=True`` stream
+    instrumentation events; asking for any other raises
+    :class:`~repro.errors.ConfigError` up front instead of silently
+    returning an empty timeline.
+    """
+    spec = get_arch(arch)
+    if not spec.observable:
+        raise ConfigError(
+            f"architecture {arch!r} does not stream instrumentation "
+            f"events; 'trace' supports observable engines only"
+        )
+    cfg = config or SparsepipeConfig()
+    profile = get_workload(workload).profile(Matrix(load_suite_matrix(matrix)))
+    prep = preprocess(
+        load_suite_matrix(matrix), reorder=reorder, block_size=block_size
+    )
+    timeline = TimelineObserver()
+    metrics_obs = MetricsObserver()
+    engine = create_engine(arch, cfg)
+    with Stopwatch() as watch:
+        result = engine.run(
+            profile, prep, paper_nnz=SUITE[matrix].paper_nnz,
+            observers=[timeline, metrics_obs],
+        )
+    registry = metrics_obs.finalize(result)
+    manifest = build_manifest(
+        arch, workload, matrix, cfg, reorder, block_size,
+        registry=registry, seed=seed, wall_time_s=watch.elapsed,
+    )
+    return CaptureResult(
+        result=result, timeline=timeline, metrics=registry, manifest=manifest
+    )

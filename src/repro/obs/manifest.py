@@ -1,0 +1,157 @@
+"""Run manifests: who produced a result, from what, and when.
+
+Every simulated (or cache-served) result can carry a
+:class:`RunManifest` recording the configuration content hash
+(:meth:`SparsepipeConfig.cache_key`), the preprocessing knobs, the
+seed, the git revision of the producing tree, the simulator cache
+:data:`~repro.engine.cache.CODE_VERSION`, a digest of the run's
+metrics, and the wall-clock time spent producing it. Manifests make
+cached and fresh results distinguishable (``from_cache``) and
+auditable: two manifests with equal :meth:`~RunManifest.digest` came
+from the same code, configuration, and measured behavior.
+
+The digest covers only the *stable* fields — wall-time and the
+``from_cache`` flag are recorded but excluded — so a rerun of the same
+configuration produces an identical digest, which is exactly the
+determinism contract the test suite locks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry, registry_from_result
+
+#: Manifest wire-format version; bump on incompatible field changes.
+MANIFEST_SCHEMA = 1
+
+_GIT_REV: Optional[str] = None
+_GIT_REV_PROBED = False
+
+
+def git_revision() -> Optional[str]:
+    """Short git revision of the source tree, ``None`` outside a
+    checkout (or without a ``git`` binary). Probed once per process."""
+    global _GIT_REV, _GIT_REV_PROBED
+    if not _GIT_REV_PROBED:
+        _GIT_REV_PROBED = True
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True, text=True, timeout=5,
+            )
+            _GIT_REV = out.stdout.strip() or None if out.returncode == 0 else None
+        except (OSError, subprocess.SubprocessError):
+            _GIT_REV = None
+    return _GIT_REV
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record attached to one simulation result."""
+
+    arch: str
+    workload: str
+    matrix: str
+    config_key: str                   #: SparsepipeConfig.cache_key()
+    reorder: Optional[str]
+    block_size: Optional[int]
+    code_version: str
+    metrics_digest: str
+    seed: Optional[int] = None
+    git_rev: Optional[str] = None
+    wall_time_s: Optional[float] = None
+    from_cache: bool = False
+    schema: int = MANIFEST_SCHEMA
+
+    #: Fields excluded from the deterministic digest: measurement
+    #: noise and serving provenance, not run identity.
+    _UNSTABLE = ("wall_time_s", "from_cache")
+
+    def stable_dict(self) -> Dict[str, object]:
+        """Every identity-bearing field, JSON-plain."""
+        doc = asdict(self)
+        for field in self._UNSTABLE:
+            doc.pop(field, None)
+        return doc
+
+    def digest(self) -> str:
+        """Deterministic content hash over the stable fields."""
+        doc = json.dumps(self.stable_dict(), sort_keys=True)
+        return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full JSON representation (includes the digest for auditing)."""
+        doc = asdict(self)
+        doc["digest"] = self.digest()
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "RunManifest":
+        doc = {k: v for k, v in doc.items() if k != "digest"}
+        return cls(**doc)
+
+    def served_from_cache(self) -> "RunManifest":
+        """This manifest, marked as a cache hit (digest unchanged)."""
+        return replace(self, from_cache=True)
+
+
+def build_manifest(
+    arch: str,
+    workload: str,
+    matrix: str,
+    config,
+    reorder: Optional[str],
+    block_size: Optional[int],
+    result=None,
+    registry: Optional[MetricsRegistry] = None,
+    seed: Optional[int] = None,
+    wall_time_s: Optional[float] = None,
+    from_cache: bool = False,
+) -> RunManifest:
+    """Assemble the manifest for one run.
+
+    The metrics digest comes from ``registry`` when the caller already
+    accumulated one (e.g. a :class:`~repro.obs.metrics.MetricsObserver`
+    run), else is derived from ``result`` through
+    :func:`registry_from_result` — one of the two must be given.
+    """
+    if registry is None:
+        if result is None:
+            raise ValueError("build_manifest needs a result or a registry")
+        registry = registry_from_result(result)
+    from repro.engine.cache import CODE_VERSION  # lazy: cache imports us
+
+    return RunManifest(
+        arch=str(arch),
+        workload=str(workload),
+        matrix=str(matrix),
+        config_key=config.cache_key() if hasattr(config, "cache_key") else str(config),
+        reorder=reorder,
+        block_size=block_size,
+        code_version=CODE_VERSION,
+        metrics_digest=registry.digest(),
+        seed=seed,
+        git_rev=git_revision(),
+        wall_time_s=wall_time_s,
+        from_cache=from_cache,
+    )
+
+
+class Stopwatch:
+    """Tiny wall-clock timer for manifest ``wall_time_s`` fields."""
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0

@@ -1,0 +1,245 @@
+"""Per-stage timeline capture and Chrome/Perfetto ``trace_event`` export.
+
+:class:`TimelineObserver` subscribes to the simulator event stream
+(:mod:`repro.engine.instrumentation`) and rebuilds the lock-step
+pipeline of Fig 13 as a timeline: one *pipeline* track of step spans,
+one track per compute stage (OS, E-Wise, IS, extra) showing its busy
+cycles inside each step, a *DRAM channel* track, a *loaders* track of
+eager-prefetch instants (Fig 9), and a *buffer* track of evict/repack
+instants (Fig 15d's ping-pong). Timestamps are **simulated cycles**
+(the trace metadata says so); per track they are monotone by
+construction because the cursor only ever advances by each committed
+step's duration.
+
+``to_chrome_trace()`` emits the Trace Event Format JSON that both
+``chrome://tracing`` and https://ui.perfetto.dev load directly;
+:func:`validate_chrome_trace` is the schema check the test suite (and
+CI) run over every exported document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.arch.stats import TRAFFIC_CATEGORIES
+from repro.engine.instrumentation import FILL_STEP, Observer
+
+#: Process id for the simulated Sparsepipe instance.
+TRACE_PID = 1
+
+#: Track (thread) ids, rendering top-to-bottom like Fig 13.
+TRACK_IDS = {
+    "pipeline": 1,
+    "os": 2,
+    "ewise": 3,
+    "is": 4,
+    "extra": 5,
+    "dram": 6,
+    "loaders": 7,
+    "buffer": 8,
+}
+
+#: Human-readable track names emitted as thread_name metadata.
+TRACK_NAMES = {
+    "pipeline": "pipeline steps",
+    "os": "OS core",
+    "ewise": "E-Wise core",
+    "is": "IS core",
+    "extra": "extra ops",
+    "dram": "DRAM channel",
+    "loaders": "eager CSR loader",
+    "buffer": "on-chip buffer",
+}
+
+#: stage_cycles keys -> track keys (memory renders on the DRAM track).
+_STAGE_TRACK = {
+    "os": "os", "ewise": "ewise", "is": "is", "extra": "extra",
+    "memory": "dram",
+}
+
+
+class TimelineObserver(Observer):
+    """Builds the per-core/per-stage timeline of one simulated run.
+
+    Within-step events (transfer / prefetch / evict / repack) arrive
+    *before* their closing ``step`` event, so they are buffered and
+    stamped with the step's start cycle when it commits — the exported
+    order is deterministic for a deterministic run.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+        self.total_cycles = 0.0
+        self.steps = 0
+        self.bytes_by_category: Dict[str, float] = {
+            c: 0.0 for c in TRAFFIC_CATEGORIES
+        }
+        self._pending_moved: Dict[str, float] = {}
+        self._pending_instants: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def on_transfer(self, category, n_bytes) -> None:
+        self._pending_moved[category] = (
+            self._pending_moved.get(category, 0.0) + n_bytes
+        )
+        self.bytes_by_category[category] += n_bytes
+
+    def on_prefetch(self, step, n_bytes) -> None:
+        self._pending_instants.append(
+            self._instant("prefetch", "loaders", {"bytes": float(n_bytes)})
+        )
+
+    def on_evict(self, step, n_bytes) -> None:
+        self._pending_instants.append(
+            self._instant("evict", "buffer", {"bytes": float(n_bytes)})
+        )
+
+    def on_repack(self, step) -> None:
+        self._pending_instants.append(self._instant("repack", "buffer", {}))
+
+    def on_step(self, step, cycles, moved, stage_cycles=None) -> None:
+        start = self.total_cycles
+        name = "fill" if step == FILL_STEP else f"step {step}"
+        self.events.append(self._span(name, "pipeline", start, cycles, {
+            "step": int(step), "moved_bytes": float(sum(moved.values())),
+        }))
+        if stage_cycles:
+            for stage, busy in stage_cycles.items():
+                track = _STAGE_TRACK.get(stage)
+                if track is not None and busy > 0.0:
+                    self.events.append(
+                        self._span(stage, track, start, busy, {})
+                    )
+        if self._pending_moved or step != FILL_STEP:
+            counts = {c: self._pending_moved.get(c, 0.0)
+                      for c in TRAFFIC_CATEGORIES}
+            self.events.append({
+                "name": "dram bytes", "ph": "C", "ts": start,
+                "pid": TRACE_PID, "tid": TRACK_IDS["dram"],
+                "cat": "traffic", "args": counts,
+            })
+        for instant in self._pending_instants:
+            instant["ts"] = start
+            self.events.append(instant)
+        self._pending_moved = {}
+        self._pending_instants = []
+        self.total_cycles += cycles
+        if step != FILL_STEP:
+            self.steps += 1
+
+    # ------------------------------------------------------------------
+    # Event constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _span(name, track, ts, dur, args) -> Dict[str, object]:
+        return {
+            "name": name, "ph": "X", "ts": float(ts), "dur": float(dur),
+            "pid": TRACE_PID, "tid": TRACK_IDS[track], "cat": "sim",
+            "args": args,
+        }
+
+    @staticmethod
+    def _instant(name, track, args) -> Dict[str, object]:
+        # ts is stamped at flush time (step commit).
+        return {
+            "name": name, "ph": "i", "ts": 0.0, "s": "t",
+            "pid": TRACE_PID, "tid": TRACK_IDS[track], "cat": "sim",
+            "args": args,
+        }
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def total_bytes(self) -> float:
+        """Summed exported DRAM bytes, in canonical category order (so
+        the float sum matches ``TrafficBreakdown.total_bytes`` exactly)."""
+        return sum(self.bytes_by_category[c] for c in TRAFFIC_CATEGORIES)
+
+    def _metadata_events(self) -> List[Dict[str, object]]:
+        out = [{
+            "name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": 0,
+            "args": {"name": "sparsepipe-sim"},
+        }]
+        for track, tid in TRACK_IDS.items():
+            out.append({
+                "name": "thread_name", "ph": "M", "pid": TRACE_PID,
+                "tid": tid, "args": {"name": TRACK_NAMES[track]},
+            })
+        return out
+
+    def to_chrome_trace(
+        self, manifest: Optional[object] = None
+    ) -> Dict[str, object]:
+        """The full Trace Event Format document.
+
+        ``manifest`` (a :class:`~repro.obs.manifest.RunManifest`)
+        embeds its *stable* fields — never wall-time — so the document
+        is byte-identical across reruns of the same configuration.
+        """
+        metadata: Dict[str, object] = {
+            "tsUnit": "cycles",
+            "totalCycles": float(self.total_cycles),
+            "steps": int(self.steps),
+        }
+        if manifest is not None:
+            metadata["manifest"] = manifest.stable_dict()
+            metadata["manifestDigest"] = manifest.digest()
+        return {
+            "traceEvents": self._metadata_events() + self.events,
+            "displayTimeUnit": "ns",
+            "metadata": metadata,
+        }
+
+    def write(
+        self, path: Union[str, Path], manifest: Optional[object] = None
+    ) -> Path:
+        """Write the trace JSON deterministically (sorted keys)."""
+        path = Path(path)
+        doc = self.to_chrome_trace(manifest)
+        path.write_text(json.dumps(doc, sort_keys=True, indent=1))
+        return path
+
+
+# ----------------------------------------------------------------------
+# Schema validation (used by the test suite and CI)
+# ----------------------------------------------------------------------
+REQUIRED_EVENT_FIELDS = ("name", "ph", "pid", "tid")
+
+
+def validate_chrome_trace(doc: Dict[str, object]) -> List[Dict[str, object]]:
+    """Check a document against the Trace Event Format contract.
+
+    Raises ``ValueError`` naming the first violation; returns the event
+    list on success. Checks: the ``traceEvents`` envelope; required
+    ``ph``/``pid``/``tid`` fields; ``ts`` on every non-metadata event
+    plus ``dur`` on complete (``"X"``) events; and per-track monotone
+    non-decreasing timestamps.
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    last_ts: Dict[object, float] = {}
+    for i, ev in enumerate(events):
+        for field in REQUIRED_EVENT_FIELDS:
+            if field not in ev:
+                raise ValueError(f"event {i} missing required field {field!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        if "ts" not in ev:
+            raise ValueError(f"event {i} ({ev['name']!r}) missing 'ts'")
+        if ph == "X" and "dur" not in ev:
+            raise ValueError(f"complete event {i} ({ev['name']!r}) missing 'dur'")
+        ts = float(ev["ts"])
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts.get(track, 0.0):
+            raise ValueError(
+                f"event {i} ({ev['name']!r}) breaks timestamp monotonicity "
+                f"on track {track}: {ts} < {last_ts[track]}"
+            )
+        last_ts[track] = ts
+    return events

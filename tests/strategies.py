@@ -1,0 +1,104 @@
+"""Shared hypothesis strategies for the property-based suites.
+
+Every property test file imports its strategies from here — the single
+home for the finite-float domain, seed/dimension integers, the monoid
+name samplers, and the random e-wise program generator — instead of
+redeclaring private copies. ``tests/test_strategies.py`` smoke-tests
+the generators themselves.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.dataflow.program import EWiseInstr, OEIProgram, Operand, OperandKind
+from repro.semiring import MONOIDS
+
+#: Finite floats bounded away from overflow — the shared numeric domain
+#: of every algebraic property test.
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+#: Full-range RNG seeds for deterministic random-matrix construction.
+seeds = st.integers(0, 2**31 - 1)
+
+#: Plain booleans (re-exported so test files need no ``st`` import).
+booleans = st.booleans()
+
+
+def dims(lo: int, hi: int):
+    """Matrix/vector dimensions (or iteration counts) in ``[lo, hi]``."""
+    if not 0 <= lo <= hi:
+        raise ValueError(f"invalid dimension bounds [{lo}, {hi}]")
+    return st.integers(lo, hi)
+
+
+def finite_lists(max_size: int = 20):
+    """Lists of finite floats, possibly empty (reduction inputs)."""
+    return st.lists(finite, min_size=0, max_size=max_size)
+
+
+def monoid_names(*names: str):
+    """Sampler over monoid names — a subset, or every registered
+    monoid when called without arguments."""
+    pool = list(names) if names else sorted(MONOIDS)
+    unknown = [n for n in pool if n not in MONOIDS]
+    if unknown:
+        raise ValueError(f"unknown monoid name(s): {unknown}")
+    return st.sampled_from(pool)
+
+
+def subtensor_widths(*widths: int):
+    """Sampler over sub-tensor column widths for schedule sweeps."""
+    if not widths:
+        raise ValueError("subtensor_widths needs at least one width")
+    return st.sampled_from(list(widths))
+
+
+#: Binary ops that stay finite on bounded inputs.
+SAFE_BINARY = ("plus", "minus", "times", "min", "max", "abs_diff")
+#: Semirings whose add/mul keep bounded inputs bounded.
+SAFE_SEMIRINGS = ("mul_add", "min_add", "max_times")
+
+
+@st.composite
+def random_programs(draw):
+    """A random straight-line e-wise program of 1-4 instructions."""
+    n_instr = draw(st.integers(1, 4))
+    instructions = []
+    aux_used = draw(st.booleans())
+    scalar_used = draw(st.booleans())
+    for i in range(n_instr):
+        op = draw(st.sampled_from(SAFE_BINARY))
+        sources = [Operand(OperandKind.Y)]
+        if i > 0:
+            sources.append(Operand(OperandKind.REG, draw(st.integers(0, i - 1))))
+        choices = ["const"]
+        if aux_used:
+            choices.append("aux")
+        if scalar_used:
+            choices.append("scalar")
+        kind = draw(st.sampled_from(choices))
+        if kind == "const":
+            extra = Operand(
+                OperandKind.CONST,
+                draw(st.floats(-2.0, 2.0, allow_nan=False)),
+            )
+        elif kind == "aux":
+            extra = Operand(OperandKind.AUX, "a0")
+        else:
+            extra = Operand(OperandKind.SCALAR, "s0")
+        srcs = (sources[-1], extra) if len(sources) > 1 else (sources[0], extra)
+        instructions.append(EWiseInstr(op, i, srcs))
+    semiring = draw(st.sampled_from(SAFE_SEMIRINGS))
+    return OEIProgram(
+        name="random",
+        semiring_name=semiring,
+        instructions=tuple(instructions),
+        result_reg=n_instr - 1,
+        aux_vectors=("a0",) if aux_used else (),
+        scalar_names=("s0",) if scalar_used else (),
+        n_registers=n_instr,
+        has_oei=True,
+    )

@@ -112,3 +112,31 @@ class TestExportCommand:
 
         doc = json.loads(out.read_text())
         assert "summary" in doc and "table1" in doc
+
+
+class TestTraceCommand:
+    def test_trace_args(self):
+        args = build_parser().parse_args(["trace", "bfs", "-o", "t.json"])
+        assert args.workload == "bfs" and args.out == "t.json"
+        assert args.matrix == "gy" and args.arch == "sparsepipe"
+
+    def test_trace_writes_valid_trace_and_manifest(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "bfs", "-o", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "cycles" in stdout and "perfetto" in stdout
+        doc = json.loads(out.read_text())
+        validate_chrome_trace(doc)
+        manifest = json.loads((tmp_path / "trace.manifest.json").read_text())
+        assert manifest["workload"] == "bfs"
+        assert manifest["digest"] == doc["metadata"]["manifestDigest"]
+
+    def test_trace_rejects_non_observable_arch(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["trace", "bfs", "-a", "cpu"])

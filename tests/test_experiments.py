@@ -176,11 +176,16 @@ class TestExport:
         expected_sections = {
             "table1", "fig14", "fig15", "fig16", "fig17", "fig18",
             "fig19", "fig20a", "fig20b", "fig21", "fig22", "fig23",
-            "summary",
+            "summary", "metrics", "manifests",
         }
         assert set(doc) == expected_sections
         assert len(doc["table1"]) == 9
         assert all("claim" in c for c in doc["summary"])
+        # Observability sections: the one-schema registry and one
+        # provenance manifest per simulated point.
+        assert doc["metrics"]["sim.runs"]["value"] >= 1
+        assert doc["manifests"]
+        assert all("digest" in m for m in doc["manifests"])
 
     def test_export_round_trips_numeric_types(self, small_context, tmp_path):
         import json

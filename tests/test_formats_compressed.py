@@ -3,13 +3,13 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import FormatError
 from repro.formats.compressed import INDEX_BYTES, VALUE_BYTES
 from repro.formats.coo import COOMatrix
 from repro.formats.csc import CSCMatrix
 from repro.formats.csr import CSRMatrix
+from tests.strategies import dims, seeds
 
 
 class TestCSR:
@@ -127,7 +127,7 @@ class TestConversions:
 
 
 @settings(max_examples=40, deadline=None)
-@given(st.integers(1, 15), st.integers(1, 15), st.integers(0, 2**31 - 1))
+@given(dims(1, 15), dims(1, 15), seeds)
 def test_property_csr_csc_round_trip(nr, nc, seed):
     gen = np.random.default_rng(seed)
     dense = (gen.random((nr, nc)) < 0.3) * gen.uniform(-1, 1, (nr, nc))
@@ -136,7 +136,7 @@ def test_property_csr_csc_round_trip(nr, nc, seed):
 
 
 @settings(max_examples=40, deadline=None)
-@given(st.integers(1, 12), st.integers(0, 2**31 - 1))
+@given(dims(1, 12), seeds)
 def test_property_matvec_vecmat_transpose_duality(n, seed):
     gen = np.random.default_rng(seed)
     dense = (gen.random((n, n)) < 0.35) * gen.uniform(-1, 1, (n, n))

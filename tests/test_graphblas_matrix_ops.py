@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import ShapeError
+from tests.strategies import dims, seeds
 from repro.graphblas import (
     Matrix,
     Vector,
@@ -148,7 +148,7 @@ class TestExtractAssign:
 
 
 @settings(max_examples=25, deadline=None)
-@given(st.integers(1, 10), st.integers(0, 2**31 - 1))
+@given(dims(1, 10), seeds)
 def test_property_matrix_ewise_add_commutative(n, seed):
     gen = np.random.default_rng(seed)
     a = (gen.random((n, n)) < 0.4) * gen.uniform(0.1, 1, (n, n))
@@ -160,7 +160,7 @@ def test_property_matrix_ewise_add_commutative(n, seed):
 
 
 @settings(max_examples=25, deadline=None)
-@given(st.integers(1, 10), st.integers(0, 2**31 - 1))
+@given(dims(1, 10), seeds)
 def test_property_reduce_rows_matches_matvec_ones(n, seed):
     gen = np.random.default_rng(seed)
     a = (gen.random((n, n)) < 0.4) * gen.uniform(0.1, 1, (n, n))

@@ -1,0 +1,108 @@
+"""Differential conservation suite: the observability layer may never
+disagree with the simulator's own accumulators.
+
+Three producers see the same run — the simulator's ``SimResult``, the
+result-derived :func:`registry_from_result`, and (for observable
+engines) the live :class:`MetricsObserver` / :class:`TimelineObserver`
+event stream. Byte and cycle totals are accumulated in the same order
+everywhere, so equality below is **exact** (``==``), not approximate:
+any drift is a real accounting bug, not float noise.
+"""
+
+import pytest
+
+from repro.arch.stats import TRAFFIC_CATEGORIES
+from repro.engine.registry import arch_names, get_arch
+from repro.experiments.runner import ExperimentContext
+from repro.obs import capture_run, dram_metric, registry_from_result
+
+#: Small grid: every registered architecture runs each point in well
+#: under a second on the smallest suite matrix.
+WORKLOADS = ("bfs", "pr")
+MATRIX = "gy"
+
+
+@pytest.fixture(scope="module")
+def context():
+    """One shared context so profiles/preps are materialized once."""
+    return ExperimentContext(workloads=WORKLOADS, matrices=(MATRIX,))
+
+
+@pytest.mark.parametrize("arch", arch_names())
+@pytest.mark.parametrize("workload", WORKLOADS)
+class TestEveryArchConserves:
+    def test_dram_bytes_total_is_exact(self, context, arch, workload):
+        result = context.simulate(arch, workload, MATRIX)
+        reg = registry_from_result(result)
+        assert reg.dram_bytes_total() == result.traffic.total_bytes
+
+    def test_per_category_bytes_are_exact(self, context, arch, workload):
+        result = context.simulate(arch, workload, MATRIX)
+        reg = registry_from_result(result)
+        for cat in TRAFFIC_CATEGORIES:
+            assert reg.value(dram_metric(cat)) == result.traffic.bytes_by_category[cat]
+
+    def test_cycles_and_ops_are_exact(self, context, arch, workload):
+        result = context.simulate(arch, workload, MATRIX)
+        reg = registry_from_result(result)
+        assert reg.value("sim.cycles") == result.cycles
+        assert reg.value("sim.compute_ops") == result.compute_ops
+        assert reg.value("bandwidth.utilization") == result.bandwidth_utilization
+
+
+def test_all_builtin_archs_covered():
+    """The grid above really sweeps every registered engine."""
+    assert set(arch_names()) >= {
+        "sparsepipe", "ideal", "oracle", "cpu", "gpu", "software_oei"
+    }
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+class TestLiveObserversConserve:
+    """For observable engines the *event stream* must reproduce the
+    result totals too — transfer-by-transfer, step-by-step."""
+
+    def test_metrics_observer_matches_result(self, workload):
+        cap = capture_run(workload, matrix=MATRIX)
+        assert cap.metrics.dram_bytes_total() == cap.result.traffic.total_bytes
+        for cat in TRAFFIC_CATEGORIES:
+            assert (
+                cap.metrics.value(dram_metric(cat))
+                == cap.result.traffic.bytes_by_category[cat]
+            )
+        assert cap.metrics.value("sim.cycles") == cap.result.cycles
+
+    def test_timeline_matches_result(self, workload):
+        cap = capture_run(workload, matrix=MATRIX)
+        assert cap.timeline.total_bytes() == cap.result.traffic.total_bytes
+        assert cap.timeline.total_cycles == cap.result.cycles
+
+    def test_timeline_and_metrics_agree_with_each_other(self, workload):
+        cap = capture_run(workload, matrix=MATRIX)
+        assert cap.timeline.total_bytes() == cap.metrics.dram_bytes_total()
+        assert cap.timeline.steps == cap.metrics.value("sim.steps")
+
+    def test_live_equals_result_derived_registry(self, workload):
+        """The observer path and the SimResult path fill the shared
+        metric names with identical values."""
+        cap = capture_run(workload, matrix=MATRIX)
+        derived = registry_from_result(cap.result)
+        for name in ("sim.cycles", "buffer.evicted_bytes",
+                     "buffer.repack_events", "bandwidth.utilization",
+                     "prefetch.hit_ratio", "buffer.peak_bytes"):
+            assert cap.metrics.value(name) == derived.value(name), name
+        for cat in TRAFFIC_CATEGORIES:
+            assert cap.metrics.value(dram_metric(cat)) == derived.value(
+                dram_metric(cat)
+            )
+
+
+def test_only_observable_archs_capture():
+    """Non-observable engines are rejected up front, not silently
+    traced as empty."""
+    from repro.errors import ConfigError
+
+    for arch in arch_names():
+        if not get_arch(arch).observable:
+            with pytest.raises(ConfigError):
+                capture_run("bfs", matrix=MATRIX, arch=arch)

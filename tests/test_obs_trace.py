@@ -1,0 +1,103 @@
+"""Trace export, determinism, and manifest provenance tests.
+
+Locks the externally visible artifacts of the observability layer:
+the Chrome/Perfetto trace JSON validates against the Trace Event
+Format contract, reruns of one configuration are **byte-identical**,
+and manifests distinguish fresh results from cache-served ones while
+keeping the same stable digest.
+"""
+
+import json
+
+from repro.experiments.runner import ExperimentContext
+from repro.obs import (
+    RunManifest,
+    capture_run,
+    validate_chrome_trace,
+)
+
+
+class TestChromeTraceExport:
+    def test_capture_run_trace_validates(self):
+        cap = capture_run("bfs", matrix="gy")
+        doc = cap.timeline.to_chrome_trace(manifest=cap.manifest)
+        events = validate_chrome_trace(doc)
+        assert len(events) > 0
+        assert doc["metadata"]["tsUnit"] == "cycles"
+        assert doc["metadata"]["manifestDigest"] == cap.manifest.digest()
+
+    def test_trace_has_expected_tracks(self):
+        cap = capture_run("bfs", matrix="gy")
+        doc = cap.timeline.to_chrome_trace()
+        names = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev.get("ph") == "M" and ev["name"] == "thread_name"
+        }
+        assert {"pipeline steps", "DRAM channel", "OS core"} <= names
+
+    def test_written_file_round_trips(self, tmp_path):
+        cap = capture_run("bfs", matrix="gy")
+        trace_path, manifest_path = cap.write_trace(tmp_path / "trace.json")
+        assert trace_path.exists() and manifest_path.exists()
+        doc = json.loads(trace_path.read_text())
+        validate_chrome_trace(doc)
+        sidecar = json.loads(manifest_path.read_text())
+        assert sidecar["digest"] == cap.manifest.digest()
+        assert RunManifest.from_dict(sidecar).digest() == cap.manifest.digest()
+
+
+class TestDeterminism:
+    def test_trace_json_is_byte_identical_across_runs(self, tmp_path):
+        a = capture_run("bfs", matrix="gy")
+        b = capture_run("bfs", matrix="gy")
+        pa, _ = a.write_trace(tmp_path / "a.json")
+        pb, _ = b.write_trace(tmp_path / "b.json")
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def test_manifest_digest_is_stable_across_runs(self):
+        a = capture_run("pr", matrix="gy")
+        b = capture_run("pr", matrix="gy")
+        assert a.manifest.digest() == b.manifest.digest()
+        # Wall time differs between runs but never enters the digest.
+        assert a.manifest.metrics_digest == b.manifest.metrics_digest
+
+    def test_different_workloads_get_different_digests(self):
+        a = capture_run("bfs", matrix="gy")
+        b = capture_run("pr", matrix="gy")
+        assert a.manifest.digest() != b.manifest.digest()
+
+
+class TestCacheProvenance:
+    def test_fresh_then_served_manifests(self, tmp_path):
+        fresh_ctx = ExperimentContext(cache_dir=tmp_path)
+        fresh_ctx.simulate("sparsepipe", "bfs", "gy")
+        fresh = fresh_ctx.manifest("sparsepipe", "bfs", "gy")
+        assert fresh is not None
+        assert fresh.from_cache is False
+        assert fresh.wall_time_s is not None and fresh.wall_time_s >= 0.0
+
+        served_ctx = ExperimentContext(cache_dir=tmp_path)
+        served_ctx.simulate("sparsepipe", "bfs", "gy")
+        served = served_ctx.manifest("sparsepipe", "bfs", "gy")
+        assert served is not None
+        assert served.from_cache is True
+        # Cache service changes provenance, never identity.
+        assert served.digest() == fresh.digest()
+        assert served_ctx.metrics.value("cache.disk_hits") == 1.0
+
+    def test_manifest_to_dict_marks_cache_service(self, tmp_path):
+        ctx = ExperimentContext(cache_dir=tmp_path)
+        ctx.simulate("sparsepipe", "bfs", "gy")
+        again = ExperimentContext(cache_dir=tmp_path)
+        again.simulate("sparsepipe", "bfs", "gy")
+        doc = again.manifest("sparsepipe", "bfs", "gy").to_dict()
+        assert doc["from_cache"] is True
+
+    def test_served_result_is_identical_to_fresh(self, tmp_path):
+        ctx = ExperimentContext(cache_dir=tmp_path)
+        fresh = ctx.simulate("sparsepipe", "bfs", "gy")
+        again = ExperimentContext(cache_dir=tmp_path)
+        served = again.simulate("sparsepipe", "bfs", "gy")
+        assert served.cycles == fresh.cycles
+        assert served.traffic.bytes_by_category == fresh.traffic.bytes_by_category

@@ -8,59 +8,12 @@ the conventional sequential schedule.
 
 import numpy as np
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.dataflow.program import EWiseInstr, OEIProgram, Operand, OperandKind
 from repro.formats.coo import COOMatrix
 from repro.formats.csc import CSCMatrix
 from repro.formats.csr import CSRMatrix
 from repro.oei import run_oei_pairs, run_reference
-
-#: Binary ops that stay finite on bounded inputs.
-SAFE_BINARY = ("plus", "minus", "times", "min", "max", "abs_diff")
-SAFE_SEMIRINGS = ("mul_add", "min_add", "max_times")
-
-
-@st.composite
-def random_programs(draw):
-    """A random straight-line e-wise program of 1-4 instructions."""
-    n_instr = draw(st.integers(1, 4))
-    instructions = []
-    aux_used = draw(st.booleans())
-    scalar_used = draw(st.booleans())
-    for i in range(n_instr):
-        op = draw(st.sampled_from(SAFE_BINARY))
-        sources = [Operand(OperandKind.Y)]
-        if i > 0:
-            sources.append(Operand(OperandKind.REG, draw(st.integers(0, i - 1))))
-        choices = ["const"]
-        if aux_used:
-            choices.append("aux")
-        if scalar_used:
-            choices.append("scalar")
-        kind = draw(st.sampled_from(choices))
-        if kind == "const":
-            extra = Operand(
-                OperandKind.CONST,
-                draw(st.floats(-2.0, 2.0, allow_nan=False)),
-            )
-        elif kind == "aux":
-            extra = Operand(OperandKind.AUX, "a0")
-        else:
-            extra = Operand(OperandKind.SCALAR, "s0")
-        srcs = (sources[-1], extra) if len(sources) > 1 else (sources[0], extra)
-        instructions.append(EWiseInstr(op, i, srcs))
-    semiring = draw(st.sampled_from(SAFE_SEMIRINGS))
-    return OEIProgram(
-        name="random",
-        semiring_name=semiring,
-        instructions=tuple(instructions),
-        result_reg=n_instr - 1,
-        aux_vectors=("a0",) if aux_used else (),
-        scalar_names=("s0",) if scalar_used else (),
-        n_registers=n_instr,
-        has_oei=True,
-    )
+from tests.strategies import dims, random_programs, seeds, subtensor_widths
 
 
 def _matrix(n: int, density: float, seed: int):
@@ -73,10 +26,10 @@ def _matrix(n: int, density: float, seed: int):
 @settings(max_examples=60, deadline=None)
 @given(
     random_programs(),
-    st.integers(3, 35),
-    st.integers(1, 6),
-    st.sampled_from([1, 3, 7, 50]),
-    st.integers(0, 2**31 - 1),
+    dims(3, 35),
+    dims(1, 6),
+    subtensor_widths(1, 3, 7, 50),
+    seeds,
 )
 def test_property_oei_equals_reference(program, n, n_iterations, subtensor, seed):
     csc, csr = _matrix(n, 0.25, seed)
@@ -100,7 +53,7 @@ def test_property_oei_equals_reference(program, n, n_iterations, subtensor, seed
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.integers(5, 60), st.integers(0, 2**31 - 1), st.sampled_from([4, 16, 64]))
+@given(dims(5, 60), seeds, subtensor_widths(4, 16, 64))
 def test_property_simulator_traffic_conservation(n, seed, subtensor):
     """Per pair, matrix traffic (demand + eager) covers each element
     exactly once; scatter work equals nnz; window drains."""
@@ -131,7 +84,7 @@ def test_property_simulator_traffic_conservation(n, seed, subtensor):
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.integers(5, 60), st.integers(0, 2**31 - 1))
+@given(dims(5, 60), seeds)
 def test_property_reuse_series_matches_loadplan_window(n, seed):
     """The LoadPlan's admit schedule and the reuse analysis agree on
     total residency."""

@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.formats.coo import COOMatrix
 from repro.oei import reuse_footprint
 from repro.oei.schedule import IS_LAG
+from tests.strategies import dims, seeds
 
 
 def _coo(n, rows, cols):
@@ -82,7 +82,7 @@ class TestFootprint:
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.integers(2, 40), st.integers(0, 2**31 - 1))
+@given(dims(2, 40), seeds)
 def test_property_occupancy_bounds(n, seed):
     gen = np.random.default_rng(seed)
     dense = gen.random((n, n)) < 0.3

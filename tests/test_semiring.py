@@ -4,7 +4,6 @@ property tests (associativity, commutativity, identity, annihilation)."""
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import ConfigError
 from repro.semiring import (
@@ -21,10 +20,7 @@ from repro.semiring import (
     SEMIRINGS,
     semiring_by_name,
 )
-
-finite = st.floats(
-    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
-)
+from tests.strategies import booleans, finite, finite_lists, monoid_names
 
 
 class TestBinaryOps:
@@ -141,7 +137,7 @@ class TestSemirings:
 # Algebraic property tests
 # ----------------------------------------------------------------------
 @settings(max_examples=60, deadline=None)
-@given(finite, finite, finite, st.sampled_from(["plus", "min", "max", "lor", "land"]))
+@given(finite, finite, finite, monoid_names("plus", "min", "max", "lor", "land"))
 def test_property_monoid_associative(a, b, c, name):
     op = MONOIDS[name].op
     left = op(op(a, b), c)
@@ -150,7 +146,7 @@ def test_property_monoid_associative(a, b, c, name):
 
 
 @settings(max_examples=60, deadline=None)
-@given(finite, st.booleans(), st.sampled_from(list(MONOIDS)))
+@given(finite, booleans, monoid_names())
 def test_property_monoid_identity(a, boolean, name):
     monoid = MONOIDS[name]
     if name in ("lor", "land"):
@@ -160,17 +156,14 @@ def test_property_monoid_identity(a, boolean, name):
 
 
 @settings(max_examples=60, deadline=None)
-@given(finite, finite, st.sampled_from(["plus", "min", "max", "lor", "land", "times"]))
+@given(finite, finite, monoid_names("plus", "min", "max", "lor", "land", "times"))
 def test_property_monoid_commutative(a, b, name):
     op = MONOIDS[name].op
     assert np.isclose(op(a, b), op(b, a), equal_nan=True)
 
 
 @settings(max_examples=60, deadline=None)
-@given(
-    st.lists(finite, min_size=0, max_size=20),
-    st.sampled_from(["plus", "min", "max", "lor"]),
-)
+@given(finite_lists(max_size=20), monoid_names("plus", "min", "max", "lor"))
 def test_property_segment_reduce_matches_reduce(values, name):
     monoid = MONOIDS[name]
     arr = np.asarray(values, dtype=np.float64)
