@@ -1,0 +1,108 @@
+"""Reference-vs-vectorized backend wall-time comparison.
+
+Times the Sparsepipe simulator's two backends on the same
+(workload, matrix) points and records the result into
+``BENCH_backend.json`` at the repository root — per-point wall times
+and speedups plus the time-weighted aggregate. While timing, every
+point is also checked for exact result equality, so the benchmark
+doubles as one more differential run.
+
+The default points cover all four paper semirings and span the suite
+from the smallest matrix to the buffer-pressure cases; under the CI
+smoke subset (``REPRO_BENCH_WORKLOADS``/``REPRO_BENCH_MATRICES``) the
+points collapse to that cross product and the headline speedup claim
+is not asserted (a subset's aggregate is meaningless).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import is_full_sweep, run_once
+from repro.arch.config import SparsepipeConfig
+from repro.arch.simulator import SparsepipeSimulator
+from repro.experiments.report import format_table
+from repro.matrices.suite import SUITE
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
+
+#: Full-sweep measurement points: every paper semiring, matrices from
+#: the smallest (gy) to the large buffer-pressure members.
+DEFAULT_POINTS = (
+    ("pr", "gy"),     # mul_add, smallest suite matrix
+    ("kpp", "gy"),    # aril_add
+    ("pr", "eu"),     # mul_add, large
+    ("cg", "eu"),     # mul_add, solver-style iteration structure
+    ("sssp", "wi"),   # min_add, skewed power-law web
+    ("bfs", "ad"),    # and_or, adaptive mesh
+)
+
+
+def _points(context):
+    if is_full_sweep():
+        return DEFAULT_POINTS
+    return tuple(
+        (w, m) for w in context.all_workloads() for m in context.all_matrices()
+    )
+
+
+def _timed_run(context, workload, matrix, backend):
+    profile = context.profile(workload, matrix)
+    prep = context.prepared(matrix)
+    sim = SparsepipeSimulator(SparsepipeConfig(backend=backend))
+    start = time.perf_counter()
+    result = sim.run(
+        profile, prep, paper_nnz=SUITE[matrix].paper_nnz, observers=()
+    )
+    return time.perf_counter() - start, result
+
+
+def test_backend_speedup(benchmark, context):
+    def sweep():
+        points = []
+        for workload, matrix in _points(context):
+            ref_s, ref = _timed_run(context, workload, matrix, "reference")
+            vec_s, vec = _timed_run(context, workload, matrix, "vectorized")
+            assert ref == vec, f"backend mismatch on {workload}-{matrix}"
+            points.append({
+                "workload": workload,
+                "matrix": matrix,
+                "reference_seconds": ref_s,
+                "vectorized_seconds": vec_s,
+                "speedup": ref_s / vec_s,
+            })
+        return points
+
+    points = run_once(benchmark, sweep)
+    total_ref = sum(p["reference_seconds"] for p in points)
+    total_vec = sum(p["vectorized_seconds"] for p in points)
+    doc = {
+        "points": points,
+        "total_reference_seconds": total_ref,
+        "total_vectorized_seconds": total_vec,
+        "aggregate_speedup": total_ref / total_vec,
+        "full_sweep": is_full_sweep(),
+    }
+    OUTPUT.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    print(
+        format_table(
+            ["point", "reference s", "vectorized s", "speedup"],
+            [
+                (f"{p['workload']}-{p['matrix']}",
+                 round(p["reference_seconds"], 3),
+                 round(p["vectorized_seconds"], 3),
+                 round(p["speedup"], 1))
+                for p in points
+            ],
+            title=f"Backend speedup (aggregate "
+                  f"{doc['aggregate_speedup']:.1f}x) -> {OUTPUT.name}",
+        )
+    )
+    assert doc["aggregate_speedup"] > 1.0
+    if is_full_sweep():
+        # The tentpole claim: the vectorized backend replaces the
+        # per-step Python loop with numpy array passes at >= 5x.
+        assert doc["aggregate_speedup"] >= 5.0

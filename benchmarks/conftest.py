@@ -7,43 +7,21 @@ then times and prints its own table/figure.
 The sweep can be subset for smoke runs (CI) via environment variables:
 ``REPRO_BENCH_WORKLOADS=pr,sssp REPRO_BENCH_MATRICES=gy,ro``. Benches
 that assert the paper's headline claims only do so on the full sweep —
-the bands are meaningless on a subset.
+the bands are meaningless on a subset. The helpers themselves live in
+:mod:`repro.testing`, shared with ``tests/conftest.py``.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Optional, Tuple
-
 import pytest
 
 from repro.experiments.runner import ExperimentContext
-
-
-def _env_subset(name: str) -> Optional[Tuple[str, ...]]:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return None
-    return tuple(part.strip() for part in raw.split(",") if part.strip())
-
-
-def is_full_sweep() -> bool:
-    """True when no env-var subsetting is active (claims may be asserted)."""
-    return (
-        _env_subset("REPRO_BENCH_WORKLOADS") is None
-        and _env_subset("REPRO_BENCH_MATRICES") is None
-    )
+from repro.testing import env_subset, is_full_sweep, run_once  # noqa: F401
 
 
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
     return ExperimentContext(
-        workloads=_env_subset("REPRO_BENCH_WORKLOADS"),
-        matrices=_env_subset("REPRO_BENCH_MATRICES"),
+        workloads=env_subset("REPRO_BENCH_WORKLOADS"),
+        matrices=env_subset("REPRO_BENCH_MATRICES"),
     )
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Time a driver exactly once (the sweeps are deterministic and
-    heavy; statistical repetition adds nothing)."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -142,6 +142,10 @@ CODES: Dict[str, CodeSpec] = {
         _spec("SP904", "unseeded-nondeterminism", Severity.ERROR,
               "simulator/engine hot paths must be deterministic: seed "
               "the rng explicitly and keep wall-clock out of results"),
+        _spec("SP905", "step-loop-outside-reference", Severity.ERROR,
+              "per-step Python loops belong to the reference backend "
+              "(arch/simulator.py) only; express the computation as "
+              "array ops in repro.arch.fastpath instead"),
     )
 }
 

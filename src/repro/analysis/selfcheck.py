@@ -1,6 +1,6 @@
 """AST self-lint: repository invariants checked statically (SP9xx).
 
-Four custom :mod:`ast` rules over the library source tree enforce
+Five custom :mod:`ast` rules over the library source tree enforce
 invariants that DESIGN.md and PR history established but nothing
 previously checked:
 
@@ -18,6 +18,12 @@ previously checked:
   simulator/engine hot paths (``arch``, ``oei``, ``engine``,
   ``dataflow``, ``formats``, ``semiring``): results must be
   deterministic and replayable.
+- **SP905** — no ``for ... in range(<x>.n_steps)`` loops in ``arch/``
+  outside the reference backend (``arch/simulator.py``). The
+  vectorized backend exists precisely so per-step Python iteration
+  stays confined to the reference implementation; a step loop leaking
+  into other arch modules re-introduces the interpreter bottleneck the
+  fast path removed.
 
 Run it with ``python -m repro selfcheck`` (wired into CI's lint job).
 """
@@ -37,6 +43,10 @@ FORBIDDEN_IMPORTS = ("scipy", "networkx")
 #: and must therefore be deterministic (SP904).
 HOT_PATH_PACKAGES = ("arch", "oei", "engine", "dataflow", "formats",
                      "semiring")
+
+#: The one module allowed to walk simulation steps in a Python loop —
+#: the reference backend (SP905).
+REFERENCE_BACKEND = "arch/simulator.py"
 
 #: Calls that introduce nondeterminism when they appear in a hot path.
 _CLOCK_CALLS = {
@@ -215,6 +225,27 @@ def _check_determinism(tree: ast.AST, rel: str,
                        f"{rel}:{node.lineno}")
 
 
+# ----------------------------------------------------------------------
+# SP905: step loops stay in the reference backend
+# ----------------------------------------------------------------------
+def _check_step_loops(tree: ast.AST, rel: str,
+                      report: DiagnosticReport) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        call = node.iter
+        if not (isinstance(call, ast.Call)
+                and _decorator_name(call.func) == "range"):
+            continue
+        if any(isinstance(arg, ast.Attribute) and arg.attr == "n_steps"
+               for arg in call.args):
+            report.add("SP905",
+                       "per-step Python loop (for ... in range(*.n_steps)) "
+                       f"outside the reference backend ({REFERENCE_BACKEND}); "
+                       "vectorize it or move it into the reference loop",
+                       f"{rel}:{node.lineno}")
+
+
 def selfcheck(root: Optional[Path] = None) -> DiagnosticReport:
     """Lint the library tree (default: the installed ``repro`` package)
     and return every SP9xx finding as one report."""
@@ -234,4 +265,6 @@ def selfcheck(root: Optional[Path] = None) -> DiagnosticReport:
         top = rel.split("/", 1)[0]
         if top in HOT_PATH_PACKAGES:
             _check_determinism(tree, rel, report)
+        if top == "arch" and rel != REFERENCE_BACKEND:
+            _check_step_loops(tree, rel, report)
     return report

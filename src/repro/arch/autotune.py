@@ -16,7 +16,7 @@ from typing import Optional, Sequence, Tuple, Union
 from repro.arch.config import SparsepipeConfig
 from repro.arch.profile import WorkloadProfile
 from repro.arch.stats import SimResult
-from repro.engine.registry import create_engine
+from repro.engine.registry import run_engine
 from repro.errors import ConfigError
 from repro.formats.coo import COOMatrix
 from repro.preprocess.pipeline import PreprocessResult
@@ -56,14 +56,12 @@ def autotune_subtensor_cols(
         if width <= 0:
             raise ConfigError(f"sub-tensor width must be positive, got {width}")
         probe_config = replace(config, subtensor_cols=int(width))
-        probe = create_engine(arch, probe_config).run(
-            probe_profile, matrix, paper_nnz=paper_nnz
+        probe = run_engine(
+            arch, probe_config, probe_profile, matrix, paper_nnz=paper_nnz
         )
         if best_cycles is None or probe.cycles < best_cycles:
             best_cycles = probe.cycles
             best_width = int(width)
     final_config = replace(config, subtensor_cols=best_width)
-    result = create_engine(arch, final_config).run(
-        profile, matrix, paper_nnz=paper_nnz
-    )
+    result = run_engine(arch, final_config, profile, matrix, paper_nnz=paper_nnz)
     return best_width, result

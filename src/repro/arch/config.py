@@ -87,8 +87,19 @@ class SparsepipeConfig:
     #: Use the banked GDDR6X model (row-buffer locality + bank-level
     #: parallelism) instead of the flat efficiency factor.
     detailed_dram: bool = False
+    #: Execution backend: ``"vectorized"`` precomputes per-step
+    #: traffic/occupancy vectors with numpy (:mod:`repro.arch.fastpath`)
+    #: and is bit-identical to ``"reference"``, the step-by-step Python
+    #: loop. The simulator falls back to the reference loop whenever
+    #: observers are attached or ``detailed_dram`` is set, so the
+    #: instrumentation event contract is unaffected by this choice.
+    backend: str = "vectorized"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("reference", "vectorized"):
+            raise ConfigError(
+                f"backend must be 'reference' or 'vectorized', got {self.backend!r}"
+            )
         if self.pes_per_core <= 0:
             raise ConfigError(f"pes_per_core must be positive, got {self.pes_per_core}")
         if self.clock_ghz <= 0:

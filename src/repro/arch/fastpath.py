@@ -1,0 +1,536 @@
+"""Vectorized execution backend for the Sparsepipe simulator.
+
+:func:`run_fastpath` produces the same :class:`~repro.arch.stats.SimResult`
+as the reference step loop in :mod:`repro.arch.simulator` — **bit-identical**,
+not approximately equal — while replacing the ``O(n_steps)`` Python iteration
+per pair with numpy precomputation plus per-pair memoization. The
+differential suite (``tests/test_backend_differential.py``) and the golden
+fixtures (``tests/test_goldens.py``) lock the equality down.
+
+Exactness strategy
+------------------
+Floating-point addition is not associative, so "the same numbers" is not
+enough: every accumulation that reaches a ``SimResult`` field must fold in
+the reference's exact operand order and association. Concretely:
+
+- Per-step scalars (``vec_read``, ``demand``, core cycle costs, ...) are
+  rebuilt elementwise with the reference's operator association; numpy's
+  elementwise ops match Python scalar ops bit for bit.
+- Run-wide accumulators (cycles, per-category traffic, compute ops, IS ops,
+  evicted bytes) become ``np.cumsum(...)[-1]`` over the per-increment
+  sequence in run order — ``cumsum`` is a strict left fold, unlike
+  ``np.sum``/``ufunc.reduce`` which pairwise-sum and drift in the low bits.
+- ``peak_bytes`` is a running ``max`` — truly associative, so ``np.max``
+  over the admit-time candidates is exact.
+
+Decomposition
+-------------
+The on-chip buffer's admit/release/evict machine depends only on the load
+plan (``enter_counts``) and the capacity: eviction thresholds compare
+``live_bytes``, never the prefetch residency. It is therefore *static per
+run* and replayed once (:class:`_BufferStatics`). What remains sequential is
+the eager prefetcher: its budget is the leftover bandwidth of a step, which
+depends on that step's demand, which depends on earlier prefetches. When the
+static no-prefetch trajectory proves the prefetcher can never fire, a pair is
+fully closed-form; otherwise a lean scalar scan over the first
+``n_subtensors`` steps reproduces the recurrence (the tail steps issue no
+demand and release nothing, so they are static again). Either way the result
+is memoized per ``(act1, act2, prefetch-residency carry)`` — workloads with
+uniform per-iteration activity simulate one pair and replay it.
+
+Repack events never feed back into timing (the buffer model's accounting is
+exact), so the repack counter is replayed separately from the static release
+sequence, memoized per inter-pair carry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.config import SparsepipeConfig
+from repro.arch.loaders import LoadPlan
+from repro.arch.profile import WorkloadProfile
+from repro.arch.stats import SimResult, TrafficBreakdown
+from repro.errors import BufferError_
+
+#: DRAM bytes per vector element (64-bit values, Section VI-C). The
+#: reference simulator imports this constant from here — one definition.
+VECTOR_ELEMENT_BYTES = 8.0
+
+#: Traffic categories in the order the reference pair loop transfers them.
+_PAIR_CATEGORIES = ("csc", "csr_reload", "csr_eager", "vector", "writeback")
+
+
+def _fold(chunks: List[np.ndarray]) -> float:
+    """Strict left-fold sum of concatenated increment arrays (the exact
+    float the reference's ``+=`` accumulator chain produces)."""
+    if not chunks:
+        return 0.0
+    seq = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+    if seq.size == 0:
+        return 0.0
+    return float(np.cumsum(seq)[-1])
+
+
+class _BufferStatics:
+    """Activity-independent replay of the on-chip buffer over one pair.
+
+    Mirrors :class:`~repro.arch.buffer.OnChipBuffer` admit/release/evict
+    exactly, recording the per-step quantities the dynamic part consumes.
+    """
+
+    def __init__(self, plan: LoadPlan, capacity: float, config: SparsepipeConfig):
+        elem = plan.element_bytes
+        # Same expression as OnChipBuffer.__init__ (int capacity included).
+        csr_cap = capacity * config.csr_window_fraction
+        n_steps = plan.n_steps
+
+        live: Dict[int, int] = {}
+        live_elements = 0
+        reload_due: Dict[int, float] = {}
+
+        reload_bytes = np.zeros(n_steps)
+        live_before_admit = np.zeros(n_steps, dtype=np.int64)
+        live_after_admit = np.zeros(n_steps, dtype=np.int64)
+        release_seq: List[Tuple[int, int]] = []
+        evict_events: List[float] = []
+
+        entries = list(plan.enter_counts)
+        entries += [None] * (n_steps - len(entries))
+        for s, counts in enumerate(entries):
+            reload_bytes[s] = reload_due.pop(s, 0.0)
+            live_before_admit[s] = live_elements
+            if counts is not None:
+                for r, c in counts.items():
+                    if c:
+                        live[r] = live.get(r, 0) + int(c)
+                        live_elements += int(c)
+            live_after_admit[s] = live_elements
+            consumed = live.pop(s, 0)
+            live_elements -= consumed
+            release_seq.append((consumed, live_elements))
+            while live_elements * elem > csr_cap and live:
+                victim = max(live)
+                if victim <= s:
+                    break
+                over = int(-(-(live_elements * elem - csr_cap) // elem))
+                take = min(over, live[victim])
+                live[victim] -= take
+                if live[victim] == 0:
+                    del live[victim]
+                live_elements -= take
+                n_bytes = take * elem
+                reload_due[victim] = reload_due.get(victim, 0.0) + n_bytes
+                evict_events.append(n_bytes)
+
+        self.csr_capacity_bytes = csr_cap
+        self.element_bytes = elem
+        self.reload_bytes = reload_bytes
+        self.live_before_admit = live_before_admit
+        self.live_after_admit = live_after_admit
+        self.release_seq = release_seq
+        self.evict_events = np.asarray(evict_events, dtype=np.float64)
+        self.undrained_elements = live_elements
+        self._repack_threshold = config.repack_threshold
+        self._repack_memo: Dict[int, Tuple[int, int]] = {}
+
+    def drain_check(self) -> None:
+        if self.undrained_elements != 0:
+            raise BufferError_(
+                f"{self.undrained_elements} elements left in the reuse window "
+                "after pair drain"
+            )
+
+    def repack_replay(self, carry: int) -> Tuple[int, int]:
+        """Repack events over one pair given the inter-pair consumed-element
+        carry; returns ``(events, carry_out)``. Integer recurrence, memoized."""
+        memo = self._repack_memo.get(carry)
+        if memo is not None:
+            return memo
+        carry_in = carry
+        thr = self._repack_threshold
+        events = 0
+        for consumed, live in self.release_seq:
+            carry += consumed
+            if live > 0 and carry > thr * (live + carry):
+                events += 1
+                carry = 0
+        self._repack_memo[carry_in] = (events, carry)
+        return events, carry
+
+
+class _PairKernel:
+    """Per-(act1, act2, residency-carry) simulation of one OEI pair."""
+
+    __slots__ = (
+        "step_cycles", "moved", "compute_ops", "is_ops", "peak_candidates",
+        "resident_out",
+    )
+
+    def __init__(self, step_cycles, moved, compute_ops, is_ops,
+                 peak_candidates, resident_out):
+        self.step_cycles = step_cycles          #: (n_steps,)
+        self.moved = moved                      #: category -> (n_steps,)
+        self.compute_ops = compute_ops          #: (3 * n_steps,) interleaved
+        self.is_ops = is_ops                    #: (n_steps,)
+        self.peak_candidates = peak_candidates  #: (n_subtensors,) occupied at admit
+        self.resident_out = resident_out        #: prefetch residency carry-out
+
+
+class _FastRun:
+    """One vectorized run: statics built once, pair/stream kernels memoized."""
+
+    def __init__(self, config: SparsepipeConfig, plan: LoadPlan,
+                 profile: WorkloadProfile, capacity: float):
+        self.config = config
+        self.plan = plan
+        self.profile = profile
+        self.capacity = capacity
+
+        self._pes = config.pes_per_core
+        self._achievable = config.bytes_per_cycle * config.dram_efficiency
+        self._overhead = float(config.step_overhead_cycles)
+        # Same expression as ComputePipeline.tree_depth / the reference fill.
+        tree_depth = max(1, int(math.ceil(math.log2(config.pes_per_core))))
+        self._fill = float(config.read_latency_cycles + tree_depth)
+
+        n_steps, n_sub = plan.n_steps, plan.n_subtensors
+        # width(s) and its lagged views, zero outside [0, n_subtensors).
+        w = np.zeros(n_steps)
+        w[:n_sub] = plan.subtensor_width.astype(np.float64)
+        self._w = w
+        self._w1 = np.concatenate(([0.0], w[:-1]))          # width(s - 1)
+        self._w2 = np.concatenate(([0.0, 0.0], w[:-2]))     # width(s - 2)
+        self._os_nnz = np.zeros(n_steps)
+        self._os_nnz[:n_sub] = plan.os_nnz
+        self._csc0 = np.zeros(n_steps)
+        self._csc0[:n_sub] = plan.csc_bytes                 # untouched demand
+        # Any column bytes left beyond sub-tensor s the prefetcher could pull?
+        future = np.zeros(n_steps, dtype=bool)
+        if n_sub > 1:
+            remaining_after = np.cumsum(plan.csc_bytes[::-1])[::-1]
+            future[: n_sub - 1] = remaining_after[1:] > 0
+        self._future_csc = future
+
+        self._buffer: Optional[_BufferStatics] = None
+        self._pair_memo: Dict[Tuple[float, float, float], _PairKernel] = {}
+        self._stream_memo: Dict[float, Tuple] = {}
+
+    # -- shared per-step cost pieces (exact reference association) --------
+    def _ceil_div_cycles(self, amount: np.ndarray, feature_dim: int) -> np.ndarray:
+        """``math.ceil(amount * f / pes)`` with the <=0 guard, elementwise."""
+        raw = np.ceil(amount * feature_dim / self._pes)
+        return np.where(amount > 0, raw, 0.0)
+
+    def _buffer_statics(self) -> _BufferStatics:
+        if self._buffer is None:
+            self._buffer = _BufferStatics(self.plan, self.capacity, self.config)
+        return self._buffer
+
+    # ------------------------------------------------------------------
+    # OEI pair
+    # ------------------------------------------------------------------
+    def pair(self, act1: float, act2: float, resident_in: float) -> _PairKernel:
+        key = (act1, act2, resident_in)
+        kern = self._pair_memo.get(key)
+        if kern is None:
+            kern = self._build_pair(act1, act2, resident_in)
+            self._pair_memo[key] = kern
+        return kern
+
+    def _build_pair(self, act1: float, act2: float,
+                    resident_in: float) -> _PairKernel:
+        plan, profile, config = self.plan, self.profile, self.config
+        buf = self._buffer_statics()
+        buf.drain_check()
+        f = profile.feature_dim
+        both = act1 + act2
+        n_ops = profile.total_ewise_ops
+        extra_dram_share = 2 * profile.extra_dram_bytes_per_iteration / plan.n_steps
+        extra_ops_share = 2 * profile.extra_ops_per_iteration / plan.n_steps
+        n_sub = plan.n_subtensors
+
+        reload = buf.reload_bytes
+        vec_read = (VECTOR_ELEMENT_BYTES * f) * (
+            self._w * act1 + (self._w1 * profile.aux_streams) * both
+        )
+        writeback = (
+            ((VECTOR_ELEMENT_BYTES * f) * self._w2) * profile.writeback_streams
+        ) * both
+        vector_cat = vec_read + extra_dram_share
+
+        os_c = self._ceil_div_cycles(self._os_nnz * act1, f)
+        ew_elems = self._w1 * both
+        ew_c = np.where(
+            (ew_elems > 0) & (n_ops > 0),
+            np.ceil(ew_elems * f / self._pes) * n_ops, 0.0,
+        )
+        is_c = self._ceil_div_cycles(plan.scatter_nnz * act2, f)
+        extra_c = extra_ops_share / self._pes if extra_ops_share > 0 else 0.0
+        fixed_c = np.maximum.reduce([ew_c, is_c, np.maximum(os_c, extra_c)])
+        fixed_c = np.maximum(fixed_c, self._overhead)
+
+        # Static (no-prefetch) trajectory.
+        csc0 = self._csc0
+        mem_total0 = ((csc0 + reload) + vector_cat) + writeback
+        mem_c0 = mem_total0 / self._achievable
+        step_cycles0 = np.maximum(fixed_c, mem_c0)
+        demand0 = (((csc0 + reload) + vec_read) + writeback) + extra_dram_share
+        leftover0 = step_cycles0 * self._achievable - demand0
+        live_bytes_before = buf.live_before_admit * buf.element_bytes
+        slack0 = buf.csr_capacity_bytes - (live_bytes_before + resident_in)
+
+        fires = (
+            config.eager_is
+            and bool(np.any((leftover0 > 0) & (slack0 > 0) & self._future_csc))
+        )
+        if not fires:
+            step_cycles, csc, eager, resident_out = (
+                step_cycles0, csc0, np.zeros(plan.n_steps), resident_in,
+            )
+            peak_candidates = (
+                buf.live_after_admit[:n_sub] * buf.element_bytes + resident_in
+            )
+        else:
+            step_cycles, csc, eager, peak_candidates, resident_out = (
+                self._scan_pair(
+                    fixed_c, reload, vec_read, vector_cat, writeback,
+                    extra_dram_share, resident_in, buf,
+                )
+            )
+
+        moved = {
+            "csc": csc,
+            "csr_reload": reload,
+            "csr_eager": eager,
+            "vector": vector_cat,
+            "writeback": writeback,
+        }
+
+        # _os_nnz is zero-padded past n_subtensors, matching the
+        # reference's explicit `else 0.0` at drain steps.
+        os_ops = (self._os_nnz * act1) * f
+        ew_ops = ((self._w1 * both) * n_ops) * f
+        is_ops = (plan.scatter_nnz * act2) * f
+        compute = np.empty((plan.n_steps, 3))
+        compute[:, 0] = os_ops
+        compute[:, 1] = ew_ops
+        compute[:, 2] = is_ops + extra_ops_share
+        return _PairKernel(
+            step_cycles, moved, compute.ravel(), is_ops, peak_candidates,
+            resident_out,
+        )
+
+    def _scan_pair(self, fixed_c, reload, vec_read, vector_cat, writeback,
+                   extra_dram_share, resident_in, buf):
+        """Lean scalar replay of the prefetch recurrence over the load
+        steps; the ``IS_LAG`` drain tail is static (no demand, no release)."""
+        plan = self.plan
+        n_sub, n_steps = plan.n_subtensors, plan.n_steps
+        achievable = self._achievable
+        horizon_enabled = self.config.eager_is
+        elem = buf.element_bytes
+        csr_cap = buf.csr_capacity_bytes
+
+        remaining = plan.csc_bytes.astype(np.float64).copy()
+        prefetched = np.zeros(n_sub)
+        resident = resident_in
+        fixed = fixed_c.tolist()
+        reload_l = reload.tolist()
+        vec_l = vec_read.tolist()
+        vcat_l = vector_cat.tolist()
+        wb_l = writeback.tolist()
+        live_before = buf.live_before_admit.tolist()
+        live_after = buf.live_after_admit.tolist()
+
+        step_cycles = fixed_c.copy()
+        csc = np.zeros(n_steps)
+        eager = np.zeros(n_steps)
+        peak_candidates = np.zeros(n_sub)
+        first_nz = 0
+
+        s = 0
+        while s < n_sub:
+            released = float(prefetched[s])
+            prefetched[s] = 0.0
+            resident = max(0.0, resident - released)
+            csc_due = float(remaining[s])
+            remaining[s] = 0.0
+            mem_total = ((csc_due + reload_l[s]) + vcat_l[s]) + wb_l[s]
+            mem_c = mem_total / achievable
+            cyc = fixed[s] if fixed[s] >= mem_c else mem_c
+            demand = (
+                (((csc_due + reload_l[s]) + vec_l[s]) + wb_l[s])
+                + extra_dram_share
+            )
+            leftover = cyc * achievable - demand
+            slack = csr_cap - (live_before[s] * elem + resident)
+            if slack < 0.0:
+                slack = 0.0
+            moved = 0.0
+            if horizon_enabled and leftover > 0 and slack > 0:
+                budget = leftover if leftover <= slack else slack
+                if first_nz <= s:
+                    first_nz = s + 1
+                t = first_nz
+                while budget > 0 and t < n_sub:
+                    rem = float(remaining[t])
+                    if rem > 0:
+                        take = budget if budget <= rem else rem
+                        remaining[t] = rem - take
+                        prefetched[t] += take
+                        moved += take
+                        budget -= take
+                    elif t == first_nz:
+                        first_nz = t + 1
+                    t += 1
+            resident += moved
+            step_cycles[s] = cyc
+            csc[s] = csc_due
+            eager[s] = moved
+            peak_candidates[s] = live_after[s] * elem + resident
+            s += 1
+        # Drain tail: no column demand, no releases, no admissions — the
+        # static trajectory with zero csc demand, which _csc0 already is
+        # beyond n_subtensors. Prefetch cannot fire (nothing remains).
+        if n_steps > n_sub:
+            mem_tail = ((0.0 + reload[n_sub:]) + vector_cat[n_sub:]) + writeback[n_sub:]
+            step_cycles[n_sub:] = np.maximum(fixed_c[n_sub:], mem_tail / achievable)
+        return step_cycles, csc, eager, peak_candidates, resident
+
+    # ------------------------------------------------------------------
+    # Streamed single iteration
+    # ------------------------------------------------------------------
+    def stream(self, act: float):
+        memo = self._stream_memo.get(act)
+        if memo is None:
+            memo = self._build_stream(act)
+            self._stream_memo[act] = memo
+        return memo
+
+    def _build_stream(self, act: float):
+        plan, profile = self.plan, self.profile
+        f = profile.feature_dim
+        n_ops = profile.total_ewise_ops
+        n_sub = plan.n_subtensors
+        extra_dram_share = profile.extra_dram_bytes_per_iteration / max(1, n_sub)
+        extra_ops_share = profile.extra_ops_per_iteration / max(1, n_sub)
+
+        w = plan.subtensor_width.astype(np.float64)
+        csc = plan.csc_bytes.astype(np.float64)
+        vec_read = ((VECTOR_ELEMENT_BYTES * f) * w) * (
+            act + profile.aux_streams * act
+        )
+        writeback = (((VECTOR_ELEMENT_BYTES * f) * w) * profile.writeback_streams) * act
+        vector_cat = vec_read + extra_dram_share
+
+        os_c = self._ceil_div_cycles(plan.os_nnz * act, f)
+        ew_elems = w * act
+        ew_c = np.where(
+            (ew_elems > 0) & (n_ops > 0),
+            np.ceil(ew_elems * f / self._pes) * n_ops, 0.0,
+        )
+        extra_c = extra_ops_share / self._pes if extra_ops_share > 0 else 0.0
+        mem_total = (csc + vector_cat) + writeback
+        mem_c = mem_total / self._achievable
+        step_cycles = np.maximum.reduce(
+            [os_c, ew_c, np.maximum(np.full(n_sub, extra_c), mem_c)]
+        )
+        step_cycles = np.maximum(step_cycles, self._overhead)
+
+        compute = ((plan.os_nnz * act) * f + (ew_elems * n_ops) * f) + extra_ops_share
+        moved = {"csc": csc, "vector": vector_cat, "writeback": writeback}
+        return step_cycles, moved, compute
+
+
+def run_fastpath(
+    config: SparsepipeConfig,
+    plan: LoadPlan,
+    profile: WorkloadProfile,
+    capacity: float,
+) -> SimResult:
+    """Vectorized equivalent of the reference iteration loop — same
+    ``SimResult``, no instrumentation (the caller guarantees zero
+    observers and the flat DRAM model)."""
+    run = _FastRun(config, plan, profile, capacity)
+
+    cycle_chunks: List[np.ndarray] = []
+    traffic_chunks: Dict[str, List[np.ndarray]] = {
+        c: [] for c in _PAIR_CATEGORIES
+    }
+    compute_chunks: List[np.ndarray] = []
+    is_ops_chunks: List[np.ndarray] = []
+    peak_values: List[np.ndarray] = []
+    n_pairs = 0
+    repack_events = 0
+    repack_carry = 0
+    resident_carry = 0.0
+    fill = np.array([run._fill])
+
+    k = 0
+    while k < profile.n_iterations:
+        if profile.has_oei and k + 1 < profile.n_iterations:
+            kern = run.pair(
+                profile.activity_at(k), profile.activity_at(k + 1), resident_carry
+            )
+            cycle_chunks.append(kern.step_cycles)
+            cycle_chunks.append(fill)
+            for cat in _PAIR_CATEGORIES:
+                traffic_chunks[cat].append(kern.moved[cat])
+            compute_chunks.append(kern.compute_ops)
+            is_ops_chunks.append(kern.is_ops)
+            peak_values.append(kern.peak_candidates)
+            events, repack_carry = run._buffer_statics().repack_replay(repack_carry)
+            repack_events += events
+            resident_carry = kern.resident_out
+            n_pairs += 1
+            k += 2
+        else:
+            step_cycles, moved, compute = run.stream(profile.activity_at(k))
+            cycle_chunks.append(step_cycles)
+            cycle_chunks.append(fill)
+            for cat, arr in moved.items():
+                traffic_chunks[cat].append(arr)
+            compute_chunks.append(compute)
+            k += 1
+
+    cycles = _fold(cycle_chunks)
+    traffic = TrafficBreakdown()
+    for cat, chunks in traffic_chunks.items():
+        traffic.bytes_by_category[cat] = _fold(chunks)
+    compute_ops = _fold(compute_chunks)
+    is_ops = _fold(is_ops_chunks)
+
+    evicted = 0.0
+    peak = 0.0
+    if n_pairs:
+        buf = run._buffer_statics()
+        if buf.evict_events.size:
+            evicted = _fold([buf.evict_events] * n_pairs)
+        if peak_values:
+            peak = max(0.0, float(np.max(np.concatenate(peak_values))))
+
+    seconds = config.seconds(cycles)
+    total_bytes = traffic.total_bytes
+    deliverable = cycles * config.bytes_per_cycle
+    scatter_updates = is_ops * 2 * VECTOR_ELEMENT_BYTES
+    return SimResult(
+        name=profile.name,
+        cycles=cycles,
+        seconds=seconds,
+        traffic=traffic,
+        bandwidth_utilization=(
+            min(1.0, total_bytes / deliverable) if deliverable else 0.0
+        ),
+        bandwidth_samples=[],
+        compute_ops=compute_ops,
+        buffer_peak_bytes=peak,
+        oom_evicted_bytes=evicted,
+        repack_events=repack_events,
+        n_iterations=profile.n_iterations,
+        sram_access_bytes=2.0 * total_bytes + scatter_updates,
+        extra={"buffer_capacity_bytes": float(capacity)},
+    )

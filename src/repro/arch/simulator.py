@@ -36,6 +36,7 @@ from repro.arch.config import (
     scaled_buffer_bytes,
 )
 from repro.arch.cores import ComputePipeline
+from repro.arch.fastpath import VECTOR_ELEMENT_BYTES, run_fastpath
 from repro.arch.loaders import EagerPrefetcher, LoadPlan
 from repro.arch.memory import MemoryController
 from repro.arch.profile import WorkloadProfile
@@ -50,8 +51,6 @@ from repro.engine.registry import register_arch
 from repro.formats.coo import COOMatrix
 from repro.preprocess.pipeline import PreprocessResult
 
-#: DRAM bytes per vector element (64-bit values, Section VI-C).
-VECTOR_ELEMENT_BYTES = 8.0
 
 
 @register_arch(
@@ -104,6 +103,13 @@ class SparsepipeSimulator:
             instr = Instrumentation((StepTraceObserver(),))
         else:
             instr = Instrumentation(observers)
+
+        # Vectorized backend: bit-identical to the loop below
+        # (repro.arch.fastpath), selected when nothing needs the per-step
+        # event stream. Attached observers or the banked DRAM model fall
+        # back to the reference loop, keeping both contracts untouched.
+        if not instr and config.backend == "vectorized" and not config.detailed_dram:
+            return run_fastpath(config, plan, profile, capacity)
 
         memory = MemoryController(
             config, burst_hints=self._burst_hints(plan, profile)

@@ -17,7 +17,7 @@ from repro.arch.area import AreaModel
 from repro.arch.config import PAPER_BUFFER_BYTES, SparsepipeConfig
 from repro.arch.profile import WorkloadProfile
 from repro.arch.stats import SimResult
-from repro.engine.registry import create_engine
+from repro.engine.registry import run_engine
 from repro.errors import ConfigError
 from repro.formats.coo import COOMatrix
 from repro.preprocess.pipeline import PreprocessResult
@@ -80,8 +80,8 @@ class ConfigSweep:
         points: List[SweepPoint] = []
         for combo in itertools.product(*(grid[n] for n in names)):
             config = replace(self._base, **dict(zip(names, combo)))
-            result = create_engine(self._arch, config).run(
-                profile, matrix, paper_nnz=paper_nnz
+            result = run_engine(
+                self._arch, config, profile, matrix, paper_nnz=paper_nnz
             )
             buffer_mb = (
                 (

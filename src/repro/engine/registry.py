@@ -160,3 +160,35 @@ def create_engine(name: str, config: Optional["SparsepipeConfig"] = None) -> Eng
     """Instantiate a ready-to-run engine for one architecture."""
     spec = get_arch(name)
     return spec.factory(config)
+
+
+def run_engine(
+    name: str,
+    config: Optional["SparsepipeConfig"],
+    profile,
+    matrix,
+    paper_nnz: Optional[int] = None,
+) -> "SimResult":
+    """Run one architecture on one point, selecting the execution backend.
+
+    The one place backend selection lives: observable engines whose
+    config asks for the ``"vectorized"`` backend run with ``observers=()``
+    (the zero-observer contract — ``bandwidth_samples=[]``), which lets
+    the simulator take its numpy fast path (:mod:`repro.arch.fastpath`).
+    Everything else — non-observable baselines, ``backend="reference"``,
+    the banked DRAM model — runs through the engine's plain ``run``.
+    Aggregate results are bit-identical either way; callers that need
+    the per-step event stream (trace export, Fig 15 samples) attach
+    observers on ``engine.run`` directly instead of going through here.
+    """
+    spec = get_arch(name)
+    engine = spec.factory(config)
+    cfg = config if config is not None else getattr(engine, "config", None)
+    if (
+        spec.observable
+        and cfg is not None
+        and getattr(cfg, "backend", "reference") == "vectorized"
+        and not getattr(cfg, "detailed_dram", False)
+    ):
+        return engine.run(profile, matrix, paper_nnz=paper_nnz, observers=())
+    return engine.run(profile, matrix, paper_nnz=paper_nnz)

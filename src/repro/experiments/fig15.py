@@ -5,7 +5,7 @@ kcore-eu (compute-intensive), sssp-wi (skewed non-zeros ping-pong)."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from repro.arch.stats import BandwidthSample
@@ -29,9 +29,14 @@ class Fig15Series:
 
 def run(context: Optional[ExperimentContext] = None) -> List[Fig15Series]:
     context = context or ExperimentContext()
+    # This figure needs the per-step bandwidth samples, which only the
+    # step-trace observer records — pin the reference backend so the
+    # simulator keeps the default observer instead of the numpy fast
+    # path (whose zero-observer contract is bandwidth_samples=[]).
+    sampled = replace(context.config, backend="reference")
     out: List[Fig15Series] = []
     for workload, matrix in FIG15_PAIRS:
-        result = context.simulate("sparsepipe", workload, matrix)
+        result = context.simulate("sparsepipe", workload, matrix, config=sampled)
         speedup = context.speedup(workload, matrix, over="ideal")
         out.append(
             Fig15Series(workload, matrix, speedup, tuple(result.bandwidth_samples))

@@ -32,7 +32,7 @@ from repro.arch.stats import SimResult
 from repro.engine.cache import ResultCache
 from repro.engine.instrumentation import DiagnosticsObserver
 from repro.engine.parallel import parallel_map
-from repro.engine.registry import arch_names, create_engine, get_arch
+from repro.engine.registry import arch_names, get_arch, run_engine
 from repro.graphblas.matrix import Matrix
 from repro.matrices.suite import SUITE, load_suite_matrix, suite_names
 from repro.obs.manifest import RunManifest, Stopwatch, build_manifest
@@ -211,7 +211,7 @@ class ExperimentContext:
         prep = self.prepared(matrix_name, reorder=reorder, block_size=block_size)
         paper_nnz = SUITE[matrix_name].paper_nnz
         with Stopwatch() as watch:
-            result = create_engine(arch, cfg).run(profile, prep, paper_nnz=paper_nnz)
+            result = run_engine(arch, cfg, profile, prep, paper_nnz=paper_nnz)
         self._record_fresh(key, result, wall_time_s=watch.elapsed)
         return result
 

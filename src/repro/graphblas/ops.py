@@ -19,10 +19,30 @@ from repro.formats.coo import COOMatrix
 from repro.graphblas.mask import Mask
 from repro.graphblas.matrix import Matrix
 from repro.graphblas.vector import Vector
+from repro.semiring import kernels
 from repro.semiring.binaryops import BinaryOp
 from repro.semiring.monoids import Monoid
 from repro.semiring.semirings import MUL_ADD, Semiring
 from repro.semiring.unaryops import UnaryOp
+
+
+def _segment_reduce(
+    monoid: Monoid,
+    values: np.ndarray,
+    segment_ids: np.ndarray,
+    n_segments: int,
+    kernel: str,
+) -> np.ndarray:
+    """Semiring reduction dispatch for the contraction kernels.
+
+    ``segment_ids`` is sorted ascending in every caller (it is a
+    compressed-index expansion), which is what licenses the batched
+    ``reduceat`` paths of :mod:`repro.semiring.kernels`.
+    """
+    kernels.check_kernel(kernel)
+    if kernel == "batched":
+        return kernels.segment_reduce(monoid, values, segment_ids, n_segments)
+    return monoid.segment_reduce(values, segment_ids, n_segments)
 
 
 def _finalize(
@@ -75,6 +95,7 @@ def vxm(
     mask: Optional[Mask] = None,
     accum: Optional[BinaryOp] = None,
     out: Optional[Vector] = None,
+    kernel: str = "batched",
 ) -> Vector:
     """``w = v^T A`` over ``semiring`` — output element ``j`` reduces the
     products of stored ``v[i]`` with stored ``A[i, j]`` down column ``j``."""
@@ -86,7 +107,7 @@ def vxm(
     rows = csc.indices[contributes]
     cols = col_ids[contributes]
     products = semiring.mul(v.values[rows], csc.data[contributes])
-    raw_values = semiring.add.segment_reduce(products, cols, a.ncols)
+    raw_values = _segment_reduce(semiring.add, products, cols, a.ncols, kernel)
     raw_present = np.zeros(a.ncols, dtype=bool)
     raw_present[cols] = True
     return _finalize(raw_values, raw_present, mask, accum, out)
@@ -99,6 +120,7 @@ def mxv(
     mask: Optional[Mask] = None,
     accum: Optional[BinaryOp] = None,
     out: Optional[Vector] = None,
+    kernel: str = "batched",
 ) -> Vector:
     """``w = A v`` over ``semiring`` — the row-oriented dual of :func:`vxm`."""
     if v.size != a.ncols:
@@ -109,7 +131,7 @@ def mxv(
     cols = csr.indices[contributes]
     rows = row_ids[contributes]
     products = semiring.mul(csr.data[contributes], v.values[cols])
-    raw_values = semiring.add.segment_reduce(products, rows, a.nrows)
+    raw_values = _segment_reduce(semiring.add, products, rows, a.nrows, kernel)
     raw_present = np.zeros(a.nrows, dtype=bool)
     raw_present[rows] = True
     return _finalize(raw_values, raw_present, mask, accum, out)

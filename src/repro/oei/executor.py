@@ -32,6 +32,7 @@ from repro.errors import ScheduleError
 from repro.formats.csc import CSCMatrix
 from repro.formats.csr import CSRMatrix
 from repro.oei.schedule import OEISchedule
+from repro.semiring import kernels
 
 AuxProvider = Callable[[int, np.ndarray], Mapping[str, np.ndarray]]
 ScalarUpdate = Callable[[int, np.ndarray], Mapping[str, float]]
@@ -73,9 +74,11 @@ def run_reference(
     n_iterations: int,
     aux_provider: AuxProvider = _no_aux,
     scalar_update: ScalarUpdate = _no_scalars,
+    kernel: str = "batched",
 ) -> OEIExecution:
     """Conventional sequential schedule: each iteration's ``vxm``
     completes before its e-wise starts (Fig 3a)."""
+    kernels.check_kernel(kernel)
     semiring = program.semiring
     n = csc.ncols
     _check_square(csc)
@@ -87,7 +90,7 @@ def run_reference(
         aux = aux_provider(k, x)
         products = semiring.mul(x[csc.indices], csc.data)
         col_ids = np.repeat(np.arange(n, dtype=np.int64), csc.col_nnz())
-        y = semiring.add.segment_reduce(products, col_ids, n)
+        y = _segment_reduce(semiring.add, products, col_ids, n, kernel)
         x = program.run_elementwise(y, all_idx, aux, scalars)
         trace.y_history.append(y)
         trace.x_history.append(x.copy())
@@ -103,13 +106,21 @@ def run_oei_pairs(
     aux_provider: AuxProvider = _no_aux,
     scalar_update: ScalarUpdate = _no_scalars,
     subtensor_cols: int = 64,
+    kernel: str = "batched",
 ) -> OEIExecution:
     """Execute ``n_iterations`` fused in OEI pairs.
 
     Iterations ``2m`` (OS side) and ``2m + 1`` (IS side) share one
     streaming pass over the matrix. An odd trailing iteration runs OS-
     only. Raises :class:`ScheduleError` if the program has no OEI path.
+
+    ``kernel`` selects how semiring reductions are dispatched:
+    ``"batched"`` routes grouping-safe monoids through the segment
+    kernels of :mod:`repro.semiring.kernels`, ``"reference"`` keeps the
+    per-reduction :class:`~repro.semiring.Monoid` methods. Both are
+    bit-identical; batched is faster on wide sub-tensors.
     """
+    kernels.check_kernel(kernel)
     if not program.has_oei:
         raise ScheduleError(
             f"program {program.name!r} has no OEI path; use run_reference"
@@ -128,14 +139,14 @@ def run_oei_pairs(
         if iteration + 1 < n_iterations:
             x = _run_pair(
                 csc, csr, program, semiring, schedule, x, iteration,
-                aux_provider, scalar_update, trace,
+                aux_provider, scalar_update, trace, kernel,
             )
             iteration += 2
         else:
             # Odd tail: OS + e-wise only, still streamed per sub-tensor.
             x = _run_os_only(
                 csc, program, semiring, schedule, x, iteration,
-                aux_provider, scalar_update, trace,
+                aux_provider, scalar_update, trace, kernel,
             )
             iteration += 1
     return trace
@@ -151,7 +162,23 @@ def _check_square(csc: CSCMatrix) -> None:
         )
 
 
-def _os_columns(csc: CSCMatrix, semiring, x: np.ndarray, start: int, stop: int) -> np.ndarray:
+def _segment_reduce(monoid, values, segment_ids, n_segments, kernel) -> np.ndarray:
+    if kernel == "batched":
+        return kernels.segment_reduce(monoid, values, segment_ids, n_segments)
+    return monoid.segment_reduce(values, segment_ids, n_segments)
+
+
+def _scatter(monoid, out, indices, values, kernel) -> None:
+    if kernel == "batched":
+        kernels.scatter(monoid, out, indices, values)
+    else:
+        monoid.scatter(out, indices, values)
+
+
+def _os_columns(
+    csc: CSCMatrix, semiring, x: np.ndarray, start: int, stop: int,
+    kernel: str = "batched",
+) -> np.ndarray:
     """OS stage: one output element per column in ``[start, stop)``."""
     lo, hi = int(csc.indptr[start]), int(csc.indptr[stop])
     rows = csc.indices[lo:hi]
@@ -163,12 +190,13 @@ def _os_columns(csc: CSCMatrix, semiring, x: np.ndarray, start: int, stop: int) 
         )
         - start
     )
-    return semiring.add.segment_reduce(products, col_ids, stop - start)
+    return _segment_reduce(semiring.add, products, col_ids, stop - start, kernel)
 
 
 def _is_rows(
     csr: CSRMatrix, semiring, x_next: np.ndarray, y_partial: np.ndarray,
     start: int, stop: int,
+    kernel: str = "batched",
 ) -> None:
     """IS stage: scatter rows ``[start, stop)`` of the matrix against the
     freshly produced input elements, merging into ``y_partial``."""
@@ -178,12 +206,12 @@ def _is_rows(
         np.arange(start, stop, dtype=np.int64), np.diff(csr.indptr[start : stop + 1])
     )
     products = semiring.mul(x_next[row_ids], csr.data[lo:hi])
-    semiring.add.scatter(y_partial, cols, products)
+    _scatter(semiring.add, y_partial, cols, products, kernel)
 
 
 def _run_pair(
     csc, csr, program, semiring, schedule, x, iteration,
-    aux_provider, scalar_update, trace,
+    aux_provider, scalar_update, trace, kernel="batched",
 ) -> np.ndarray:
     n = csc.ncols
     scalars = scalar_update(iteration, x)
@@ -196,7 +224,7 @@ def _run_pair(
         os_st = schedule.os_at(step)
         if os_st is not None:
             y_first[os_st.start : os_st.stop] = _os_columns(
-                csc, semiring, x, os_st.start, os_st.stop
+                csc, semiring, x, os_st.start, os_st.stop, kernel
             )
         ew_st = schedule.ewise_at(step)
         if ew_st is not None:
@@ -206,7 +234,9 @@ def _run_pair(
             )
         is_st = schedule.is_at(step)
         if is_st is not None:
-            _is_rows(csr, semiring, x_next, y_second, is_st.start, is_st.stop)
+            _is_rows(
+                csr, semiring, x_next, y_second, is_st.start, is_st.stop, kernel
+            )
 
     trace.y_history.append(y_first.copy())
     trace.x_history.append(x_next.copy())
@@ -224,7 +254,7 @@ def _run_pair(
 
 def _run_os_only(
     csc, program, semiring, schedule, x, iteration,
-    aux_provider, scalar_update, trace,
+    aux_provider, scalar_update, trace, kernel="batched",
 ) -> np.ndarray:
     n = csc.ncols
     scalars = scalar_update(iteration, x)
@@ -232,7 +262,9 @@ def _run_os_only(
     y = np.empty(n, dtype=np.float64)
     x_next = np.empty(n, dtype=np.float64)
     for st in schedule.subtensors():
-        y[st.start : st.stop] = _os_columns(csc, semiring, x, st.start, st.stop)
+        y[st.start : st.stop] = _os_columns(
+            csc, semiring, x, st.start, st.stop, kernel
+        )
         idx = np.arange(st.start, st.stop)
         x_next[idx] = program.run_elementwise(y[idx], idx, aux, scalars)
     trace.y_history.append(y.copy())

@@ -59,8 +59,10 @@ from repro.semiring.semirings import (
     SEMIRINGS,
     semiring_by_name,
 )
+from repro.semiring import kernels
 
 __all__ = [
+    "kernels",
     "BinaryOp",
     "Monoid",
     "UnaryOp",

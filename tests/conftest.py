@@ -1,4 +1,9 @@
-"""Shared fixtures: small deterministic matrices and hypothesis strategies."""
+"""Shared fixtures: small deterministic matrices and hypothesis strategies.
+
+The reusable helpers live in :mod:`repro.testing` (shared with
+``benchmarks/conftest.py``); this file binds them as fixtures and adds
+the ``--update-goldens`` flag for ``tests/test_goldens.py``.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,22 @@ import numpy as np
 import pytest
 
 from repro.formats.coo import COOMatrix
+from repro.testing import random_coo  # noqa: F401  (re-export for tests)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate tests/goldens/*.json from the current code "
+        "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return bool(request.config.getoption("--update-goldens"))
 
 
 @pytest.fixture
@@ -25,10 +46,3 @@ def small_dense(rng) -> np.ndarray:
 @pytest.fixture
 def small_coo(small_dense) -> COOMatrix:
     return COOMatrix.from_dense(small_dense)
-
-
-def random_coo(seed: int, n: int = 25, density: float = 0.12) -> COOMatrix:
-    """Deterministic random square COO used by parametrized tests."""
-    gen = np.random.default_rng(seed)
-    dense = (gen.random((n, n)) < density) * gen.uniform(-2.0, 2.0, (n, n))
-    return COOMatrix.from_dense(dense)

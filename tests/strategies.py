@@ -9,9 +9,11 @@ the generators themselves.
 
 from __future__ import annotations
 
+import numpy as np
 from hypothesis import strategies as st
 
 from repro.dataflow.program import EWiseInstr, OEIProgram, Operand, OperandKind
+from repro.formats.coo import COOMatrix
 from repro.semiring import MONOIDS
 
 #: Finite floats bounded away from overflow — the shared numeric domain
@@ -60,6 +62,26 @@ def subtensor_widths(*widths: int):
 SAFE_BINARY = ("plus", "minus", "times", "min", "max", "abs_diff")
 #: Semirings whose add/mul keep bounded inputs bounded.
 SAFE_SEMIRINGS = ("mul_add", "min_add", "max_times")
+
+
+@st.composite
+def coo_matrices(draw, max_n: int = 48, allow_empty: bool = True):
+    """A deterministic random square COO matrix.
+
+    Draws the seed/size/density (so shrinking walks toward small, sparse
+    inputs) and builds the matrix with numpy — including the degenerate
+    shapes the vectorized kernels must survive: fully empty matrices,
+    empty rows/columns, and single-nonzero matrices.
+    """
+    n = draw(st.integers(1, max_n))
+    seed = draw(seeds)
+    density = draw(st.floats(0.0 if allow_empty else 0.05, 0.4))
+    gen = np.random.default_rng(seed)
+    dense = (gen.random((n, n)) < density) * gen.uniform(-2.0, 2.0, (n, n))
+    if draw(st.booleans()) and n > 2:
+        dense[draw(st.integers(0, n - 1)), :] = 0.0   # an empty row
+        dense[:, draw(st.integers(0, n - 1))] = 0.0   # an empty column
+    return COOMatrix.from_dense(dense)
 
 
 @st.composite

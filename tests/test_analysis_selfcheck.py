@@ -179,3 +179,49 @@ class TestDeterminism:
             """,
         })
         assert not selfcheck(tmp_path).has("SP904")
+
+
+class TestStepLoops:
+    def test_sp905_step_loop_outside_reference_backend(self, tmp_path):
+        write_tree(tmp_path, {
+            "arch/shiny.py": """
+                def walk(plan):
+                    total = 0.0
+                    for s in range(plan.n_steps):
+                        total += s
+                    return total
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP905")
+
+    def test_reference_backend_may_loop_over_steps(self, tmp_path):
+        write_tree(tmp_path, {
+            "arch/simulator.py": """
+                def walk(plan):
+                    for s in range(plan.n_steps):
+                        pass
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP905")
+
+    def test_plain_range_loops_are_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "arch/other.py": """
+                def walk(plan):
+                    for s in range(plan.n_subtensors):
+                        pass
+                    for k in range(10):
+                        pass
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP905")
+
+    def test_step_loops_outside_arch_are_out_of_scope(self, tmp_path):
+        write_tree(tmp_path, {
+            "oei/schedule.py": """
+                def walk(schedule):
+                    for s in range(schedule.n_steps):
+                        pass
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP905")

@@ -277,7 +277,7 @@ class TestDiskCachedContext:
         warm = ExperimentContext(
             workloads=("pr",), matrices=("gy",), cache_dir=tmp_path
         )
-        monkeypatch.setattr(runner_mod, "create_engine", explode)
+        monkeypatch.setattr(runner_mod, "run_engine", explode)
         second = warm.simulate("ideal", "pr", "gy")
         assert second == first
         many = warm.simulate_many([("ideal", "pr", "gy")] * 3)
@@ -291,13 +291,13 @@ class TestDiskCachedContext:
         monkeypatch.setattr(cache_mod, "CODE_VERSION", "999")
         fresh = ExperimentContext(matrices=("gy",), cache_dir=tmp_path)
         ran = []
-        real = runner_mod.create_engine
+        real = runner_mod.run_engine
 
-        def counting(name, config=None):
+        def counting(name, config, *a, **kw):
             ran.append(name)
-            return real(name, config)
+            return real(name, config, *a, **kw)
 
-        monkeypatch.setattr(runner_mod, "create_engine", counting)
+        monkeypatch.setattr(runner_mod, "run_engine", counting)
         fresh.simulate("ideal", "pr", "gy")
         assert ran == ["ideal"]
 

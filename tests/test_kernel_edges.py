@@ -1,0 +1,261 @@
+"""Edge-case tests for the vectorized kernels and backend.
+
+The shapes where vectorized indptr arithmetic classically goes wrong:
+empty matrices, all-empty columns/rows, single-nonzero inputs, nnz
+landing exactly on a sub-tensor block boundary, and zero-iteration
+workloads. Every case is run differentially (batched vs reference,
+vectorized vs reference) with exact equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import SparsepipeConfig
+from repro.arch.profile import WorkloadProfile
+from repro.arch.simulator import SparsepipeSimulator
+from repro.errors import ConfigError
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.oei import run_oei_pairs
+from repro.preprocess.pipeline import preprocess
+from repro.semiring import (
+    LAND_MONOID,
+    LOR_MONOID,
+    MAX_MONOID,
+    MIN_MONOID,
+    MONOIDS,
+    PLUS_MONOID,
+    kernels,
+)
+from tests.test_oei_executor import pagerank_program, sssp_program
+
+ALL_MONOIDS = sorted(MONOIDS)
+
+
+def _same(a: np.ndarray, b: np.ndarray) -> bool:
+    return a.shape == b.shape and bool(
+        np.all((a == b) | (np.isnan(a) & np.isnan(b)))
+    )
+
+
+class TestSegmentReduceEdges:
+    @pytest.mark.parametrize("name", ALL_MONOIDS)
+    def test_empty_values(self, name):
+        m = MONOIDS[name]
+        out = kernels.segment_reduce(m, np.array([]), np.array([], dtype=np.int64), 5)
+        assert _same(out, np.full(5, m.identity))
+
+    @pytest.mark.parametrize("name", ALL_MONOIDS)
+    def test_zero_segments(self, name):
+        m = MONOIDS[name]
+        out = kernels.segment_reduce(m, np.array([]), np.array([], dtype=np.int64), 0)
+        assert out.shape == (0,)
+
+    @pytest.mark.parametrize("name", ALL_MONOIDS)
+    def test_single_value(self, name):
+        m = MONOIDS[name]
+        ref = m.segment_reduce(np.array([2.5]), np.array([3]), 7)
+        bat = kernels.segment_reduce(m, np.array([2.5]), np.array([3]), 7)
+        assert _same(ref, bat)
+
+    @pytest.mark.parametrize("name", ALL_MONOIDS)
+    def test_all_values_in_last_segment(self, name):
+        """Trailing empty segments + a populated final one — the classic
+        reduceat off-by-one (an empty slice at index i returns
+        ``a[indices[i]]``, not the identity)."""
+        m = MONOIDS[name]
+        vals = np.array([1.0, 0.0, 2.0])
+        ids = np.array([9, 9, 9])
+        assert _same(
+            m.segment_reduce(vals, ids, 10),
+            kernels.segment_reduce(m, vals, ids, 10),
+        )
+
+    @pytest.mark.parametrize("name", ALL_MONOIDS)
+    def test_alternating_empty_segments(self, name):
+        m = MONOIDS[name]
+        vals = np.array([3.0, -1.0, 0.0, 4.0, 4.0])
+        ids = np.array([0, 0, 2, 2, 4])
+        assert _same(
+            m.segment_reduce(vals, ids, 6),
+            kernels.segment_reduce(m, vals, ids, 6),
+        )
+
+    def test_min_with_inf_identity_segments(self):
+        """min-add's empty columns must stay +inf, not inherit a
+        neighbouring segment's minimum."""
+        vals = np.array([5.0, 2.0])
+        ids = np.array([1, 1])
+        out = kernels.segment_reduce(MIN_MONOID, vals, ids, 4)
+        assert out[0] == np.inf and out[2] == np.inf and out[3] == np.inf
+        assert out[1] == 2.0
+
+    def test_lor_single_element_normalizes(self):
+        """The batched LOR path normalizes to {0, 1} exactly like the
+        reference ufunc.at path — even for one-element segments."""
+        vals = np.array([7.0])
+        ids = np.array([2])
+        ref = LOR_MONOID.segment_reduce(vals, ids, 4)
+        bat = kernels.segment_reduce(LOR_MONOID, vals, ids, 4)
+        assert _same(ref, bat)
+
+    def test_land_falls_back_to_reference(self):
+        """LAND has no grouping-safe batched path; the kernel must
+        delegate, preserving the reference's exact behaviour."""
+        vals = np.array([1.0, 0.0, 3.0])
+        ids = np.array([0, 0, 2])
+        assert _same(
+            LAND_MONOID.segment_reduce(vals, ids, 3),
+            kernels.segment_reduce(LAND_MONOID, vals, ids, 3),
+        )
+
+
+class TestScatterEdges:
+    @pytest.mark.parametrize("name", ALL_MONOIDS)
+    def test_empty_scatter_is_noop(self, name):
+        m = MONOIDS[name]
+        out = np.array([1.0, 2.0])
+        kernels.scatter(m, out, np.array([], dtype=np.int64), np.array([]))
+        assert _same(out, np.array([1.0, 2.0]))
+
+    @pytest.mark.parametrize("name", ALL_MONOIDS)
+    def test_duplicate_indices(self, name):
+        m = MONOIDS[name]
+        gen = np.random.default_rng(5)
+        vals = gen.uniform(-2.0, 2.0, 40)
+        idx = gen.integers(0, 6, 40)
+        ref = np.full(6, m.identity)
+        bat = ref.copy()
+        m.scatter(ref, idx, vals)
+        kernels.scatter(m, bat, idx, vals)
+        assert _same(ref, bat)
+
+    def test_min_scatter_into_populated_output(self):
+        out_ref = np.array([5.0, np.inf, 1.0])
+        out_bat = out_ref.copy()
+        idx = np.array([0, 0, 2, 1])
+        vals = np.array([7.0, 3.0, 4.0, 2.0])
+        MIN_MONOID.scatter(out_ref, idx, vals)
+        kernels.scatter(MIN_MONOID, out_bat, idx, vals)
+        assert _same(out_ref, out_bat)
+
+    def test_plus_scatter_keeps_fold_order(self):
+        """PLUS must delegate to add.at: batching would re-associate
+        ((out + a) + b) into (out + (a + b))."""
+        gen = np.random.default_rng(9)
+        vals = gen.uniform(0.0, 1.0, 100) * 10.0 ** gen.integers(-8, 8, 100)
+        idx = np.zeros(100, dtype=np.int64)
+        ref = np.array([1e-3])
+        bat = ref.copy()
+        PLUS_MONOID.scatter(ref, idx, vals)
+        kernels.scatter(PLUS_MONOID, bat, idx, vals)
+        assert _same(ref, bat)
+
+    def test_max_scatter_all_one_target(self):
+        out_ref = np.array([-np.inf, 0.5])
+        out_bat = out_ref.copy()
+        idx = np.array([0, 0, 0])
+        vals = np.array([1.0, 9.0, 4.0])
+        MAX_MONOID.scatter(out_ref, idx, vals)
+        kernels.scatter(MAX_MONOID, out_bat, idx, vals)
+        assert _same(out_ref, out_bat)
+
+
+class TestKernelValidation:
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigError):
+            kernels.check_kernel("turbo")
+
+    def test_executor_rejects_unknown_kernel(self):
+        coo = COOMatrix.from_dense(np.eye(8))
+        csc, csr = CSCMatrix.from_coo(coo), CSRMatrix.from_coo(coo)
+        with pytest.raises(ConfigError):
+            run_oei_pairs(csc, csr, pagerank_program(), np.ones(8), 2,
+                          kernel="turbo")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            SparsepipeConfig(backend="turbo")
+
+
+def _profile(n_iterations=4, **kw):
+    return WorkloadProfile(
+        name="edge", semiring_name="mul_add", has_oei=True,
+        n_iterations=n_iterations, path_ewise_ops=1, **kw
+    )
+
+
+def _both_backends(coo, profile, **knobs):
+    prep = preprocess(coo)
+    return [
+        SparsepipeSimulator(
+            SparsepipeConfig(backend=backend, **knobs)
+        ).run(profile, prep, observers=())
+        for backend in ("reference", "vectorized")
+    ]
+
+
+class TestBackendEdges:
+    def test_empty_matrix(self):
+        """A matrix with zero stored entries still streams its (empty)
+        sub-tensors; both backends must agree exactly."""
+        coo = COOMatrix.from_dense(np.zeros((12, 12)))
+        ref, vec = _both_backends(coo, _profile(), subtensor_cols=4)
+        assert ref == vec
+        assert ref.traffic.total_bytes == vec.traffic.total_bytes
+
+    def test_all_empty_rows_and_columns_block(self):
+        """Non-zeros confined to one corner: most columns/rows empty."""
+        dense = np.zeros((20, 20))
+        dense[:3, :3] = 1.5
+        ref, vec = _both_backends(
+            COOMatrix.from_dense(dense), _profile(), subtensor_cols=6
+        )
+        assert ref == vec
+
+    def test_single_nonzero(self):
+        dense = np.zeros((16, 16))
+        dense[11, 5] = 2.0
+        ref, vec = _both_backends(
+            COOMatrix.from_dense(dense), _profile(), subtensor_cols=5
+        )
+        assert ref == vec
+
+    @pytest.mark.parametrize("n,width", [(16, 16), (32, 16), (48, 16)])
+    def test_nnz_at_block_boundary(self, n, width):
+        """n an exact multiple of the sub-tensor width — the final
+        sub-tensor is exactly full, never padded."""
+        gen = np.random.default_rng(n)
+        dense = (gen.random((n, n)) < 0.2) * gen.uniform(0.5, 1.5, (n, n))
+        dense[:, width - 1] = 1.0   # nnz ends exactly at the boundary
+        ref, vec = _both_backends(
+            COOMatrix.from_dense(dense), _profile(), subtensor_cols=width
+        )
+        assert ref == vec
+
+    def test_single_iteration_stream_only(self):
+        coo = COOMatrix.from_dense(np.triu(np.ones((10, 10))))
+        ref, vec = _both_backends(coo, _profile(n_iterations=1), subtensor_cols=4)
+        assert ref == vec
+        assert ref.n_iterations == 1
+
+    def test_zero_iteration_workload_rejected(self):
+        """Zero-trip loops are a profile validation error — neither
+        backend is ever asked to simulate them."""
+        with pytest.raises(ConfigError):
+            _profile(n_iterations=0)
+
+    def test_zero_iteration_executor_returns_initial_state(self):
+        """The functional executor's n=0 edge: no iterations, history
+        holds just the initial vector."""
+        coo = COOMatrix.from_dense(np.eye(6))
+        csc, csr = CSCMatrix.from_coo(coo), CSRMatrix.from_coo(coo)
+        x0 = np.full(6, np.inf)
+        trace = run_oei_pairs(csc, csr, sssp_program(), x0, 0,
+                              aux_provider=lambda k, x: {"dist": x})
+        assert trace.n_iterations == 0
+        assert len(trace.x_history) == 1
+        assert _same(trace.x_history[0], x0)
