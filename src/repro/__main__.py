@@ -14,7 +14,8 @@ Commands
 
 ``--jobs N`` fans sweeps out over N worker processes; ``--cache DIR``
 persists simulation results on disk so reruns skip straight to the
-tables.
+tables; ``--on-error skip|retry`` keeps a sweep alive through
+per-point failures (recorded in run manifests — docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ def _make_context(args: argparse.Namespace) -> ExperimentContext:
     return ExperimentContext(
         cache_dir=getattr(args, "cache", None),
         max_workers=getattr(args, "jobs", None),
+        on_error=getattr(args, "on_error", "raise") or "raise",
     )
 
 
@@ -104,7 +106,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.oei import reuse_footprint
     from repro.util import human_bytes
 
-    coo = read_matrix_market(args.path)
+    coo = read_matrix_market(args.path, strict=args.strict)
     stats = reuse_footprint(coo)
     print(f"{args.path}: {coo.shape}, {coo.nnz} non-zeros")
     print(f"OEI reuse window: max {stats.max_pct:.1f}% "
@@ -194,6 +196,13 @@ def _add_context_flags(parser: argparse.ArgumentParser) -> None:
         "--cache", default=None, metavar="DIR",
         help="persist simulation results under DIR (e.g. .repro_cache)",
     )
+    parser.add_argument(
+        "--on-error", choices=("raise", "skip", "retry"), default="raise",
+        dest="on_error",
+        help="per-point failure policy for sweeps: raise (default), "
+             "skip (record failure, continue), or retry (bounded "
+             "re-attempts, then skip); see docs/robustness.md",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -217,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_an = sub.add_parser("analyze", help="Table-I analysis of a MatrixMarket file")
     p_an.add_argument("path")
+    p_an.add_argument(
+        "--strict", action="store_true",
+        help="strict ingest: also reject out-of-bounds indices, "
+             "trailing tokens, duplicate coordinates, non-finite values",
+    )
 
     sub.add_parser("footprint", help="Table I over the built-in suite")
 

@@ -7,6 +7,8 @@ one stable entry in :data:`CODES`:
 - ``SP1xx`` — dataflow-graph structure,
 - ``SP2xx`` — fusion / OEI legality and compiled programs,
 - ``SP3xx`` — pipeline-step schedule legality,
+- ``SP6xx`` — runtime resilience (supervised sweeps, cache
+  quarantine, strict ingest, fault injection),
 - ``SP9xx`` — repository self-lint (AST rules over ``src/repro``).
 
 ``docs/analysis.md`` catalogues the same table for humans; a golden
@@ -128,6 +130,31 @@ CODES: Dict[str, CodeSpec] = {
               "in order"),
         _spec("SP306", "invalid-schedule-params", Severity.ERROR,
               "n must be non-negative and subtensor_cols positive"),
+        # ---- SP6xx: runtime resilience ----------------------------------
+        _spec("SP601", "worker-pool-broken", Severity.WARNING,
+              "the process pool died mid-sweep (a worker was killed, "
+              "e.g. by the OOM killer); the remaining points were "
+              "completed serially in-process"),
+        _spec("SP602", "sweep-point-retried", Severity.WARNING,
+              "a sweep point failed transiently and was retried; the "
+              "retry outcome is recorded in the point's run manifest"),
+        _spec("SP603", "sweep-point-failed", Severity.ERROR,
+              "a sweep point exhausted its attempts under "
+              "on_error='skip'/'retry'; it is recorded as failed in "
+              "the run manifest and its result slot is None"),
+        _spec("SP604", "cache-entry-quarantined", Severity.WARNING,
+              "a corrupt result-cache entry was moved to quarantine/ "
+              "so it can never be silently re-missed; the next put "
+              "re-populates the slot"),
+        _spec("SP605", "malformed-ingest", Severity.ERROR,
+              "a MatrixMarket file failed validation; the error "
+              "carries 'line <n>' context naming the offending line"),
+        _spec("SP606", "watchdog-timeout", Severity.ERROR,
+              "a sweep point exceeded the per-item watchdog budget; "
+              "raise timeout_s or investigate the hang"),
+        _spec("SP607", "fault-injected", Severity.INFO,
+              "a deterministic FaultPlan fault fired at an "
+              "instrumented site (chaos testing only)"),
         # ---- SP9xx: repository self-lint --------------------------------
         _spec("SP901", "forbidden-import", Severity.ERROR,
               "scipy/networkx are test-only cross-checks (DESIGN.md); "

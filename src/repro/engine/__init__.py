@@ -12,7 +12,9 @@ of the individual models and drivers:
 - :mod:`repro.engine.cache` — the persistent on-disk result cache
   keyed by content (config hash + code version), and
 - :mod:`repro.engine.parallel` — order-preserving process-pool fan-out
-  behind ``ExperimentContext.simulate_many``.
+  behind ``ExperimentContext.simulate_many``; its supervised sibling
+  (retries, watchdog, broken-pool degradation) lives in
+  :mod:`repro.resilience.supervisor`.
 """
 
 from repro.engine.cache import CODE_VERSION, CacheEntry, ResultCache
@@ -25,7 +27,7 @@ from repro.engine.instrumentation import (
     Observer,
     StepTraceObserver,
 )
-from repro.engine.parallel import parallel_map, serial_map
+from repro.engine.parallel import parallel_map, pool_chunksize, serial_map
 from repro.engine.registry import (
     ArchSpec,
     Engine,
@@ -52,6 +54,7 @@ __all__ = [
     "create_engine",
     "get_arch",
     "parallel_map",
+    "pool_chunksize",
     "register_arch",
     "serial_map",
 ]

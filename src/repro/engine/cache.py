@@ -12,26 +12,40 @@ content hash, never ``id()``) and ``code_version`` is this module's
 :data:`CODE_VERSION` — bump it whenever simulator semantics change and
 every stale entry misses. Each file stores its full key alongside the
 serialized :class:`~repro.arch.stats.SimResult`, so hash collisions
-and hand-edited files degrade to a miss, never a wrong result. Entries
+and hand-edited files degrade to a miss, never a wrong result — and the
+offending file is **quarantined** (moved under ``quarantine/`` with an
+``SP604`` diagnostic in :attr:`ResultCache.diagnostics`), so a corrupt
+entry can never be silently re-missed forever: the next ``put``
+re-populates the slot. Entries
 may also carry a :class:`~repro.obs.manifest.RunManifest` recording
 the producing run's provenance; :meth:`ResultCache.get_entry` returns
 it marked ``from_cache=True`` so served and fresh results stay
 distinguishable. Writes
-go through a per-process temp file and an atomic rename, so concurrent
-writers (e.g. ``simulate_many`` fan-out parents) cannot tear entries.
+go through a per-process, per-write temp file (pid plus a process-wide
+counter, so concurrent threads of one process cannot tear each
+other's temp) and an atomic rename, so concurrent writers (e.g.
+``simulate_many`` fan-out parents) cannot tear entries;
+:meth:`ResultCache.clear` also sweeps the ``*.tmp`` debris a crashed
+writer may have left behind.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from repro.arch.stats import SimResult
+from repro.errors import Diagnostic
 from repro.obs.manifest import RunManifest
+from repro.resilience.faults import maybe_corrupt_file
+
+#: Distinguishes temp files of concurrent threads in one process.
+_TMP_COUNTER = itertools.count()
 
 #: Bump whenever a change to the simulators alters results — every
 #: cache entry written under another version becomes a miss.
@@ -60,6 +74,34 @@ class ResultCache:
         self.code_version = str(
             CODE_VERSION if code_version is None else code_version
         )
+        #: SP604 quarantine diagnostics since the last
+        #: :meth:`pop_diagnostics` (consumers: ExperimentContext
+        #: metrics / run manifests).
+        self.diagnostics: List[Diagnostic] = []
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry out of the live cache so it misses
+        exactly once, and record why."""
+        dest = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(dest)
+        except OSError:
+            return  # racing reader already moved it; either outcome is a miss
+        self.diagnostics.append(Diagnostic.warning(
+            "SP604", f"corrupt cache entry ({reason}) quarantined",
+            str(dest),
+        ))
+
+    def pop_diagnostics(self) -> List[Diagnostic]:
+        """Quarantine diagnostics accumulated so far (cleared on read)."""
+        out = list(self.diagnostics)
+        self.diagnostics.clear()
+        return out
 
     # ------------------------------------------------------------------
     # Keying
@@ -102,15 +144,26 @@ class ResultCache:
         path, key = self._entry(
             arch, workload, matrix, config_key, reorder, block_size
         )
+        maybe_corrupt_file("cache.get", path.name, path)
         try:
-            doc = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
+            return None  # a plain miss, nothing to quarantine
+        except OSError:
+            self._quarantine(path, "unreadable file")
             return None
-        if doc.get("key") != key:
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            self._quarantine(path, "unparseable JSON")
+            return None
+        if not isinstance(doc, dict) or doc.get("key") != key:
+            self._quarantine(path, "key mismatch")
             return None
         try:
             result = SimResult.from_dict(doc["result"])
         except (KeyError, TypeError, ValueError):
+            self._quarantine(path, "undecodable result")
             return None
         manifest = None
         if doc.get("manifest") is not None:
@@ -135,7 +188,9 @@ class ResultCache:
             "result": result.to_dict(),
             "manifest": None if manifest is None else manifest.to_dict(),
         }
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        )
         tmp.write_text(json.dumps(doc, sort_keys=True))
         tmp.replace(path)
         return path
@@ -147,12 +202,18 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (plus any ``*.tmp`` debris crashed
+        writers left behind); returns the number of entries removed."""
         n = 0
         for path in self.root.glob("*.json"):
             try:
                 path.unlink()
                 n += 1
+            except OSError:
+                pass
+        for tmp in self.root.glob("*.tmp"):
+            try:
+                tmp.unlink()
             except OSError:
                 pass
         return n

@@ -1,23 +1,40 @@
 """Order-preserving process-pool fan-out for simulation sweeps.
 
-:func:`parallel_map` is the one place the codebase touches
-``concurrent.futures``: it preserves input order (results are
-deterministic and bit-identical to the serial path — the simulators
-are pure functions of their inputs), reuses per-worker state via the
-standard ``initializer`` hook (workers pre-materialize matrices and
-profiles once, then serve every point of their chunk from that cache),
-and degrades to in-process serial execution when the host cannot
-create a pool (restricted sandboxes) or when parallelism would not pay
-(one item, one worker).
+:func:`parallel_map` is the plain pool primitive: it preserves input
+order (results are deterministic and bit-identical to the serial path
+— the simulators are pure functions of their inputs), reuses
+per-worker state via the standard ``initializer`` hook (workers
+pre-materialize matrices and profiles once, then serve every point of
+their chunk from that cache), and degrades to in-process serial
+execution when the host cannot create a pool (restricted sandboxes),
+when parallelism would not pay (one item, one worker), or when the
+pool dies mid-run (a worker OOM-killed: ``BrokenProcessPool``).
+
+For per-item retry policies, partial-sweep accounting, and watchdog
+timeouts, use the supervised sibling,
+:func:`repro.resilience.supervisor.supervised_map`.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def pool_chunksize(n_items: int, max_workers: Optional[int]) -> int:
+    """Chunk size giving each worker ~2 chunks for tail-balancing.
+
+    ``ProcessPoolExecutor`` defaults ``max_workers`` to
+    ``os.cpu_count()``, so that — not a guess from the item count — is
+    the worker count the heuristic must divide by.
+    """
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    return max(1, -(-n_items // (max(1, workers) * 2)))
 
 
 def serial_map(
@@ -43,16 +60,16 @@ def parallel_map(
     """Map ``fn`` over ``items`` with a process pool, preserving order.
 
     ``fn``/``initializer`` must be module-level (picklable). With
-    ``max_workers`` <= 1, fewer than two items, or a pool that cannot
-    be created, runs serially in-process — the results are identical
-    either way.
+    ``max_workers`` <= 1, fewer than two items, a pool that cannot be
+    created, or a pool that breaks mid-run (a worker killed by the
+    OS), runs serially in-process — the results are identical either
+    way.
     """
     items = list(items)
     if len(items) <= 1 or (max_workers is not None and max_workers <= 1):
         return serial_map(fn, items, initializer, initargs)
     if chunksize is None:
-        workers = max_workers or (len(items) // 2 or 1)
-        chunksize = max(1, -(-len(items) // (workers * 2)))
+        chunksize = pool_chunksize(len(items), max_workers)
     try:
         with ProcessPoolExecutor(
             max_workers=max_workers,
@@ -60,6 +77,7 @@ def parallel_map(
             initargs=tuple(initargs),
         ) as pool:
             return list(pool.map(fn, items, chunksize=chunksize))
-    except (OSError, PermissionError, ValueError):
-        # No semaphores / fork denied: same results, one process.
+    except (OSError, PermissionError, ValueError, BrokenProcessPool):
+        # No semaphores / fork denied / a worker died mid-sweep:
+        # same results, one process.
         return serial_map(fn, items, initializer, initargs)

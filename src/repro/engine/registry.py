@@ -30,6 +30,7 @@ except ImportError:  # pragma: no cover
         return cls
 
 from repro.errors import ConfigError
+from repro.resilience.faults import maybe_raise
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.arch.config import SparsepipeConfig
@@ -182,6 +183,9 @@ def run_engine(
     observers on ``engine.run`` directly instead of going through here.
     """
     spec = get_arch(name)
+    # Chaos-test site: lets the fault-injection harness prove the
+    # sweep-level retry path without a purpose-built flaky engine.
+    maybe_raise("engine.run", f"{name}/{getattr(profile, 'name', '?')}")
     engine = spec.factory(config)
     cfg = config if config is not None else getattr(engine, "config", None)
     if (

@@ -53,6 +53,17 @@ class Diagnostic:
         hint = f" (fix: {self.hint})" if self.hint else ""
         return f"{self.code} [{self.severity.value}]{loc}: {self.message}{hint}"
 
+    def as_dict(self) -> dict:
+        """JSON-plain representation (severity as its string value) —
+        the form run manifests and fault logs persist."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": self.location,
+            "hint": self.hint,
+        }
+
     # Convenience constructors keep call sites to one line.
     @classmethod
     def error(cls, code: str, message: str, location: str = "",
@@ -123,3 +134,15 @@ class ConfigError(ReproError, ValueError):
 
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative solver failed to converge within its iteration cap."""
+
+
+class WatchdogTimeout(ReproError, TimeoutError):
+    """A supervised sweep item exceeded its per-item watchdog budget
+    (:mod:`repro.resilience.supervisor`)."""
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A deterministic chaos fault (:mod:`repro.resilience.faults`)
+    fired at an instrumented site. Never raised in production runs —
+    only while a :class:`~repro.resilience.faults.FaultPlan` is
+    active."""

@@ -12,6 +12,15 @@ by the optional on-disk cache (``cache_dir``) so repeated figure and
 benchmark runs are near-free, and :meth:`simulate_many` fans a sweep
 out over a process pool with deterministic, serial-identical results.
 
+Resilience (:mod:`repro.resilience`): the fan-out is supervised — a
+worker killed mid-sweep (``BrokenProcessPool``) degrades to in-process
+execution instead of killing the sweep, and the ``on_error`` policy
+(``"raise"`` | ``"skip"`` | ``"retry"``) governs per-point failures.
+Skipped/exhausted points keep a ``status="failed"`` manifest (their
+result slot is ``None``), retried points carry their SP602 records,
+and corrupt disk-cache entries are quarantined (SP604) — partial
+sweeps are first-class results.
+
 Observability (:mod:`repro.obs`): every fresh simulation reports
 through the context's :class:`~repro.obs.metrics.MetricsRegistry`
 (``context.metrics`` / :meth:`ExperimentContext.metrics_report`), and
@@ -31,8 +40,15 @@ from repro.arch.profile import WorkloadProfile
 from repro.arch.stats import SimResult
 from repro.engine.cache import ResultCache
 from repro.engine.instrumentation import DiagnosticsObserver
-from repro.engine.parallel import parallel_map
 from repro.engine.registry import arch_names, get_arch, run_engine
+from repro.errors import Diagnostic
+from repro.resilience.faults import maybe_die
+from repro.resilience.supervisor import (
+    DEFAULT_RETRIES,
+    POLICIES,
+    FanoutOutcome,
+    supervised_map,
+)
 from repro.graphblas.matrix import Matrix
 from repro.matrices.suite import SUITE, load_suite_matrix, suite_names
 from repro.obs.manifest import RunManifest, Stopwatch, build_manifest
@@ -67,7 +83,11 @@ class ExperimentContext:
     sets; pass subsets for quick exploratory runs and tests.
     ``cache_dir`` enables the persistent on-disk result cache;
     ``max_workers`` sets the default process-pool width of
-    :meth:`simulate_many` (``None`` = serial).
+    :meth:`simulate_many` (``None`` = serial). ``on_error`` is the
+    default per-point failure policy of :meth:`simulate_many`
+    (``"raise"`` | ``"skip"`` | ``"retry"``), ``retries`` bounds the
+    re-attempts under ``"retry"``, and ``timeout_s`` arms the
+    per-point watchdog for in-process attempts.
     """
 
     config: SparsepipeConfig = field(default_factory=SparsepipeConfig)
@@ -77,8 +97,16 @@ class ExperimentContext:
     matrices: Optional[Tuple[str, ...]] = None
     cache_dir: Optional[Union[str, Path]] = None
     max_workers: Optional[int] = None
+    on_error: str = "raise"
+    retries: int = DEFAULT_RETRIES
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.on_error not in POLICIES:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"on_error must be one of {POLICIES}, got {self.on_error!r}")
         self._preps: Dict[Tuple, PreprocessResult] = {}
         self._graphblas: Dict[str, Matrix] = {}
         self._profiles: Dict[Tuple[str, str], WorkloadProfile] = {}
@@ -99,6 +127,10 @@ class ExperimentContext:
         #: counts mirror into :attr:`metrics` under ``diagnostics.*``.
         self.diagnostics = DiagnosticsObserver(registry=self.metrics)
         self._linted: set = set()
+        #: SP6xx fault records awaiting the manifest of their point
+        #: (cache quarantines seen on the miss, retries seen during the
+        #: fan-out); :meth:`_record_fresh` folds them in.
+        self._pending_faults: Dict[Tuple, List[Diagnostic]] = {}
 
     # ------------------------------------------------------------------
     # Cached intermediates
@@ -179,6 +211,19 @@ class ExperimentContext:
             block_size = self.block_size
         return reorder, block_size
 
+    def _disk_lookup(self, key: Tuple):
+        """On-disk cache probe that also accounts quarantine events:
+        any SP604 diagnostic the probe produced feeds the sweep
+        observer and is attached to the point's next fresh manifest."""
+        if self._disk is None:
+            return None
+        entry = self._disk.get_entry(*key)
+        for diag in self._disk.pop_diagnostics():
+            self.diagnostics.on_diagnostic(diag)
+            self.metrics.counter("cache.quarantined").inc()
+            self._pending_faults.setdefault(key, []).append(diag)
+        return entry
+
     def simulate(
         self,
         arch: str,
@@ -196,17 +241,16 @@ class ExperimentContext:
         if key in self._results:
             self.metrics.counter("cache.memory_hits").inc()
             return self._results[key]
-        if self._disk is not None:
-            entry = self._disk.get_entry(*key)
-            if entry is not None:
-                self.metrics.counter("cache.disk_hits").inc()
-                self._results[key] = entry.result
-                self.manifests[key] = (
-                    entry.manifest
-                    if entry.manifest is not None
-                    else self._manifest_for(key, entry.result, from_cache=True)
-                )
-                return entry.result
+        entry = self._disk_lookup(key)
+        if entry is not None:
+            self.metrics.counter("cache.disk_hits").inc()
+            self._results[key] = entry.result
+            self.manifests[key] = (
+                entry.manifest
+                if entry.manifest is not None
+                else self._manifest_for(key, entry.result, from_cache=True)
+            )
+            return entry.result
         profile = self.profile(workload_name, matrix_name)
         prep = self.prepared(matrix_name, reorder=reorder, block_size=block_size)
         paper_nnz = SUITE[matrix_name].paper_nnz
@@ -228,15 +272,39 @@ class ExperimentContext:
     def _record_fresh(
         self, key: Tuple, result: SimResult,
         wall_time_s: Optional[float] = None,
+        faults: Sequence[Diagnostic] = (),
     ) -> None:
         """Account one freshly simulated result: aggregate its metrics
-        into the sweep registry, build its manifest, persist both."""
+        into the sweep registry, build its manifest (folding in any
+        SP6xx events the point survived), persist both."""
         self._results[key] = result
         registry_from_result(result, registry=self.metrics)
-        manifest = self._manifest_for(key, result, wall_time_s=wall_time_s)
+        events = self._pending_faults.pop(key, []) + list(faults)
+        retried = any(d.code in ("SP601", "SP602") for d in events)
+        arch, workload, matrix, config_key, reorder, block_size = key
+        manifest = build_manifest(
+            arch, workload, matrix, config_key, reorder, block_size,
+            result=result, wall_time_s=wall_time_s,
+            status="retried" if retried else "ok",
+            faults=[d.as_dict() for d in events],
+        )
         self.manifests[key] = manifest
         if self._disk is not None:
             self._disk.put(*key, result=result, manifest=manifest)
+
+    def _record_failed(self, key: Tuple, error: str,
+                       faults: Sequence[Diagnostic]) -> None:
+        """Account one point that exhausted its attempts: no result,
+        but a first-class ``status="failed"`` manifest carrying every
+        SP6xx event behind the failure."""
+        events = self._pending_faults.pop(key, []) + list(faults)
+        arch, workload, matrix, config_key, reorder, block_size = key
+        self.manifests[key] = build_manifest(
+            arch, workload, matrix, config_key, reorder, block_size,
+            status="failed",
+            faults=[d.as_dict() for d in events] + [{"error": error}],
+        )
+        self.metrics.counter("resilience.failures").inc()
 
     def manifest(
         self,
@@ -267,7 +335,8 @@ class ExperimentContext:
         reorder: Optional[str] = "default",
         block_size: object = "default",
         max_workers: Optional[int] = None,
-    ) -> List[SimResult]:
+        on_error: Optional[str] = None,
+    ) -> List[Optional[SimResult]]:
         """Simulate many ``(arch, workload, matrix)`` points at once.
 
         Results come back in input order and are bit-identical to
@@ -277,10 +346,25 @@ class ExperimentContext:
         worker pre-materializes a matrix once and serves every point
         on it from its local caches. ``max_workers=None`` falls back
         to the context default (serial when that is unset too).
+
+        The fan-out is supervised: a broken process pool (worker
+        OOM-killed) degrades to in-process execution with an SP601
+        diagnostic instead of raising. ``on_error`` (default: the
+        context's policy) governs per-point failures — ``"raise"``
+        propagates the first error; ``"skip"`` and ``"retry"`` (which
+        re-attempts up to ``self.retries`` times first) record a
+        ``status="failed"`` manifest and leave ``None`` in the failed
+        point's result slot, so partial sweeps are first-class.
         """
         points = [tuple(p) for p in points]
         for arch, _, _ in points:
             get_arch(arch)
+        policy = self.on_error if on_error is None else on_error
+        if policy not in POLICIES:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"on_error must be one of {POLICIES}, got {policy!r}")
         cfg = config or self.config
         reorder, block_size = self._resolve(reorder, block_size)
         keys = [
@@ -293,17 +377,16 @@ class ExperimentContext:
         for point, key in zip(points, keys):
             if key in self._results or key in seen:
                 continue
-            if self._disk is not None:
-                entry = self._disk.get_entry(*key)
-                if entry is not None:
-                    self.metrics.counter("cache.disk_hits").inc()
-                    self._results[key] = entry.result
-                    self.manifests[key] = (
-                        entry.manifest
-                        if entry.manifest is not None
-                        else self._manifest_for(key, entry.result, from_cache=True)
-                    )
-                    continue
+            entry = self._disk_lookup(key)
+            if entry is not None:
+                self.metrics.counter("cache.disk_hits").inc()
+                self._results[key] = entry.result
+                self.manifests[key] = (
+                    entry.manifest
+                    if entry.manifest is not None
+                    else self._manifest_for(key, entry.result, from_cache=True)
+                )
+                continue
             seen.add(key)
             missing.append(point)
 
@@ -313,25 +396,80 @@ class ExperimentContext:
                 # Group by matrix so per-worker chunks reuse the
                 # materialized matrix, profile, and preprocessing.
                 ordered = sorted(missing, key=lambda p: (p[2], p[1], p[0]))
-                computed = parallel_map(
+                outcome = supervised_map(
                     _simulate_one_point,
                     ordered,
                     max_workers=workers,
                     initializer=_init_worker_context,
                     initargs=(cfg, reorder, block_size),
+                    on_error=policy,
+                    retries=self.retries,
+                    timeout_s=self.timeout_s,
+                    labels=["/".join(p) for p in ordered],
                 )
-                for point, result in zip(ordered, computed):
-                    key = self._result_key(*point, cfg, reorder, block_size)
-                    # Wall time is unknown per point in the fan-out;
-                    # the manifest records None rather than a guess.
-                    self._record_fresh(key, result)
             else:
-                for arch, workload, matrix in missing:
-                    self.simulate(
-                        arch, workload, matrix,
+                ordered = missing
+                outcome = supervised_map(
+                    lambda p: self.simulate(
+                        p[0], p[1], p[2],
                         config=cfg, reorder=reorder, block_size=block_size,
-                    )
-        return [self._results[key] for key in keys]
+                    ),
+                    ordered,
+                    max_workers=1,
+                    on_error=policy,
+                    retries=self.retries,
+                    timeout_s=self.timeout_s,
+                    labels=["/".join(p) for p in ordered],
+                )
+            self._absorb_outcome(outcome, ordered, cfg, reorder, block_size)
+        return [self._results.get(key) for key in keys]
+
+    def _absorb_outcome(
+        self, outcome: FanoutOutcome, ordered: List[Point],
+        cfg: SparsepipeConfig, reorder, block_size,
+    ) -> None:
+        """Fold one supervised fan-out into the context: fresh results
+        with their retry records, failed points as failure manifests,
+        fan-out-wide degradations into the sweep diagnostics."""
+        for diag in outcome.diagnostics:
+            self.diagnostics.on_diagnostic(diag)
+            self.metrics.counter("resilience.pool_breaks").inc()
+        failed = outcome.failed_indices()
+        for index, point in enumerate(ordered):
+            key = self._result_key(*point, cfg, reorder, block_size)
+            retried = outcome.retried.get(index, [])
+            for diag in retried:
+                self.diagnostics.on_diagnostic(diag)
+                self.metrics.counter("resilience.retries").inc()
+            # Pool-wide degradation marks every affected point's manifest.
+            events = list(outcome.diagnostics) + retried
+            if index in failed:
+                failure = failed[index]
+                self.diagnostics.on_diagnostic(failure.diagnostic)
+                self._record_failed(
+                    key, failure.error, events + [failure.diagnostic])
+            elif key in self._results:
+                # The in-process path already recorded it via simulate();
+                # fold late-arriving fault records into its manifest.
+                if events:
+                    self._amend_manifest(key, events)
+            else:
+                # Wall time is unknown per point in the fan-out;
+                # the manifest records None rather than a guess.
+                self._record_fresh(key, outcome.results[index], faults=events)
+
+    def _amend_manifest(self, key: Tuple,
+                        events: Sequence[Diagnostic]) -> None:
+        from dataclasses import replace
+
+        manifest = self.manifests.get(key)
+        if manifest is None:
+            return
+        self.manifests[key] = replace(
+            manifest,
+            status="retried" if manifest.status == "ok" else manifest.status,
+            faults=manifest.faults + tuple(d.as_dict() for d in events),
+        )
 
     def speedup(
         self, workload_name: str, matrix_name: str, over: str,
@@ -388,4 +526,7 @@ def _init_worker_context(
 
 def _simulate_one_point(point: Point) -> SimResult:
     arch, workload, matrix = point
+    # Chaos-test site: no-op unless a FaultPlan with a worker_death
+    # fault is active AND this process is a marked pool worker.
+    maybe_die("parallel.worker", "/".join(point))
     return _WORKER_CONTEXT.simulate(arch, workload, matrix)

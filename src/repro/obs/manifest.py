@@ -24,7 +24,7 @@ import subprocess
 import time
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.obs.metrics import MetricsRegistry, registry_from_result
 
@@ -69,11 +69,23 @@ class RunManifest:
     git_rev: Optional[str] = None
     wall_time_s: Optional[float] = None
     from_cache: bool = False
+    #: How the point got its result: ``"ok"`` (clean first attempt),
+    #: ``"retried"`` (succeeded after SP601/SP602 degradation), or
+    #: ``"failed"`` (exhausted its attempts; no result exists and
+    #: ``metrics_digest`` is empty). Partial sweeps are first-class:
+    #: failed points keep a manifest even though they have no result.
+    status: str = "ok"
+    #: SP6xx fault records (:meth:`repro.errors.Diagnostic.as_dict`
+    #: dicts) behind a non-``"ok"`` status — pool breaks, retries,
+    #: quarantined cache entries, injected faults.
+    faults: Tuple[Dict[str, object], ...] = ()
     schema: int = MANIFEST_SCHEMA
 
     #: Fields excluded from the deterministic digest: measurement
-    #: noise and serving provenance, not run identity.
-    _UNSTABLE = ("wall_time_s", "from_cache")
+    #: noise and serving/failure provenance, not run identity — a
+    #: sweep that survived a worker death must digest identically to
+    #: an undisturbed one.
+    _UNSTABLE = ("wall_time_s", "from_cache", "status", "faults")
 
     def stable_dict(self) -> Dict[str, object]:
         """Every identity-bearing field, JSON-plain."""
@@ -96,6 +108,8 @@ class RunManifest:
     @classmethod
     def from_dict(cls, doc: Dict[str, object]) -> "RunManifest":
         doc = {k: v for k, v in doc.items() if k != "digest"}
+        # JSON round-trips tuples as lists; restore the frozen form.
+        doc["faults"] = tuple(dict(f) for f in doc.get("faults", ()))
         return cls(**doc)
 
     def served_from_cache(self) -> "RunManifest":
@@ -115,15 +129,19 @@ def build_manifest(
     seed: Optional[int] = None,
     wall_time_s: Optional[float] = None,
     from_cache: bool = False,
+    status: str = "ok",
+    faults: Sequence[Dict[str, object]] = (),
 ) -> RunManifest:
     """Assemble the manifest for one run.
 
     The metrics digest comes from ``registry`` when the caller already
     accumulated one (e.g. a :class:`~repro.obs.metrics.MetricsObserver`
     run), else is derived from ``result`` through
-    :func:`registry_from_result` — one of the two must be given.
+    :func:`registry_from_result` — one of the two must be given,
+    except for ``status="failed"`` manifests, which have no result to
+    digest.
     """
-    if registry is None:
+    if registry is None and status != "failed":
         if result is None:
             raise ValueError("build_manifest needs a result or a registry")
         registry = registry_from_result(result)
@@ -137,11 +155,13 @@ def build_manifest(
         reorder=reorder,
         block_size=block_size,
         code_version=CODE_VERSION,
-        metrics_digest=registry.digest(),
+        metrics_digest="" if registry is None else registry.digest(),
         seed=seed,
         git_rev=git_revision(),
         wall_time_s=wall_time_s,
         from_cache=from_cache,
+        status=status,
+        faults=tuple(dict(f) for f in faults),
     )
 
 

@@ -10,8 +10,8 @@ from repro.formats.coo import COOMatrix
 from repro.formats.matrix_market import read_matrix_market, write_matrix_market
 
 
-def _read(text: str) -> COOMatrix:
-    return read_matrix_market(io.StringIO(text))
+def _read(text: str, strict: bool = False) -> COOMatrix:
+    return read_matrix_market(io.StringIO(text), strict=strict)
 
 
 class TestRead:
@@ -65,6 +65,92 @@ class TestRead:
     def test_rejects_missing_size_line(self):
         with pytest.raises(FormatError):
             _read("%%MatrixMarket matrix coordinate real general\n% only comments\n")
+
+
+class TestLineNumberedErrors:
+    """Every FormatError carries ``line <n>`` context and an SP605
+    diagnostic so a bad SuiteSparse download is debuggable from the
+    message alone."""
+
+    def test_bad_header_names_line_one(self):
+        with pytest.raises(FormatError, match="line 1") as err:
+            _read("%%NotMatrixMarket foo\n1 1 0\n")
+        assert "SP605" in err.value.codes
+
+    def test_bad_size_line_is_located(self):
+        with pytest.raises(FormatError, match="line 2"):
+            _read("%%MatrixMarket matrix coordinate real general\n2 x 1\n")
+        with pytest.raises(FormatError, match="line 2"):
+            _read("%%MatrixMarket matrix coordinate real general\n-2 2 1\n")
+
+    def test_bad_entry_is_located(self):
+        with pytest.raises(FormatError, match="line 4"):
+            _read(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "% comment\n"
+                "2 2 2\n"
+                "1 one 1.0\n"
+            )
+
+    def test_truncated_file_points_past_last_line(self):
+        with pytest.raises(FormatError, match="line 3"):
+            _read("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
+
+    def test_rejects_non_square_symmetric(self):
+        # Seed bug: mirroring a 2x3 "symmetric" file either crashed in
+        # COOMatrix or silently produced wrong entries.
+        with pytest.raises(FormatError, match="square") as err:
+            _read(
+                "%%MatrixMarket matrix coordinate real symmetric\n"
+                "2 3 1\n"
+                "1 1 1.0\n"
+            )
+        assert "line 2" in str(err.value)
+
+    def test_rejects_out_of_bounds_coordinates(self):
+        # Always-on (not just strict): out-of-range indices would
+        # corrupt downstream CSR conversion silently.
+        with pytest.raises(FormatError, match="line 3"):
+            _read("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n")
+        with pytest.raises(FormatError, match="line 3"):
+            _read("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 0 1.0\n")
+
+    def test_rejects_surplus_entries(self):
+        with pytest.raises(FormatError, match="line 5"):
+            _read(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n1 1 1.0\n% ok\n2 2 2.0\n"
+            )
+
+
+class TestStrictMode:
+    GOOD = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n1 1 1.0\n2 2 2.0\n"
+    )
+
+    def test_clean_file_passes_strict(self):
+        assert _read(self.GOOD, strict=True).nnz == 2
+
+    def test_strict_rejects_trailing_tokens(self):
+        text = self.GOOD.replace("1 1 1.0", "1 1 1.0 extra")
+        assert _read(text).nnz == 2  # lenient: ignored
+        with pytest.raises(FormatError, match="line 3"):
+            _read(text, strict=True)
+
+    def test_strict_rejects_duplicates(self):
+        text = self.GOOD.replace("2 2 2.0", "1 1 2.0")
+        assert _read(text).nnz == 2  # lenient: kept, dedup downstream
+        with pytest.raises(FormatError, match="line 4"):
+            _read(text, strict=True)
+
+    def test_strict_rejects_non_finite(self):
+        text = self.GOOD.replace("2 2 2.0", "2 2 nan")
+        assert _read(text).nnz == 2  # lenient: accepted as-is
+        with pytest.raises(FormatError, match="line 4"):
+            _read(text, strict=True)
+        with pytest.raises(FormatError, match="line 4"):
+            _read(self.GOOD.replace("2 2 2.0", "2 2 inf"), strict=True)
 
 
 class TestWriteReadRoundTrip:

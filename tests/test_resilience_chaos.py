@@ -1,0 +1,155 @@
+"""Chaos suite: run real sweeps under an armed :class:`FaultPlan` and
+assert the resilience layer delivers the acceptance criteria — the
+sweep completes, results are bit-identical to a fault-free run, and
+every injected fault is visible as an SP6xx record in the manifests.
+
+``REPRO_CHAOS_SEED`` overrides the plan seed (default 1234) and
+``REPRO_CHAOS_DIR`` pins the cache/quarantine directory so CI can
+upload it as an artifact when the suite fails; both default to
+hermetic per-test values.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.errors import FormatError
+from repro.experiments.runner import ExperimentContext
+from repro.formats import read_matrix_market
+from repro.resilience import Fault, FaultPlan, activate, drain_fired
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1234"))
+
+#: 2 archs x 2 workloads on one matrix: enough distinct fault keys for
+#: every site, small enough to keep the suite fast.
+POINTS = [
+    ("sparsepipe", "pr", "gy"),
+    ("ideal", "pr", "gy"),
+    ("sparsepipe", "kcore", "gy"),
+    ("ideal", "kcore", "gy"),
+]
+
+
+@pytest.fixture
+def chaos_dir(tmp_path):
+    override = os.environ.get("REPRO_CHAOS_DIR")
+    if override:
+        path = Path(override) / "chaos"
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return tmp_path
+
+
+def _plan():
+    return FaultPlan(seed=SEED, faults={
+        "parallel.worker": Fault(kind="worker_death", rate=1.0),
+        "cache.get": Fault(kind="corrupt_file", rate=1.0),
+        "engine.run": Fault(kind="raise", rate=1.0),
+    })
+
+
+class TestChaosSweep:
+    def test_sweep_survives_every_fault_site(self, chaos_dir):
+        cache_dir = chaos_dir / "cache"
+
+        # Fault-free baseline; also populates the disk cache so the
+        # chaos run exercises the cache.get corruption site.
+        clean = ExperimentContext(cache_dir=cache_dir)
+        baseline = clean.simulate_many(POINTS)
+        assert all(m.status == "ok" for m in clean.manifests.values())
+
+        chaotic = ExperimentContext(
+            cache_dir=cache_dir, max_workers=2, on_error="retry")
+        with activate(_plan()):
+            results = chaotic.simulate_many(POINTS)
+        fired = drain_fired()
+
+        # Acceptance: the sweep completes, bit-identical to fault-free.
+        assert results == baseline
+
+        # Every injected fault is visible: SP607 fire records in this
+        # process (cache corruption per entry + one transient raise per
+        # point retried in-process after the pool broke)...
+        assert all(d.code == "SP607" for d in fired)
+        sites = {d.location.split("[")[0] for d in fired}
+        assert {"cache.get", "engine.run"} <= sites
+
+        # ...quarantined corpses on disk...
+        quarantined = list((cache_dir / "quarantine").glob("*.json"))
+        assert len(quarantined) == len(POINTS)
+
+        # ...and SP6xx provenance in every point's manifest.
+        codes = set()
+        for point in POINTS:
+            manifest = chaotic.manifest(*point)
+            assert manifest.status == "retried"
+            codes.update(f.get("code") for f in manifest.faults)
+        assert {"SP601", "SP602", "SP604"} <= codes
+
+        # Sweep-wide counters account the same events.
+        assert chaotic.metrics.counter("cache.quarantined").value == len(POINTS)
+        assert chaotic.metrics.counter("resilience.pool_breaks").value >= 1
+        assert chaotic.metrics.counter("resilience.retries").value >= len(POINTS)
+
+    def test_chaos_leaves_identical_digests(self, chaos_dir):
+        # Surviving faults is unstable provenance: run identity (the
+        # manifest digest) must match an undisturbed context's.
+        clean = ExperimentContext()
+        clean.simulate_many(POINTS[:2])
+        chaotic = ExperimentContext(max_workers=2, on_error="retry")
+        with activate(_plan()):
+            chaotic.simulate_many(POINTS[:2])
+        for point in POINTS[:2]:
+            assert chaotic.manifest(*point).digest() == \
+                clean.manifest(*point).digest()
+
+    def test_repeat_run_is_deterministic(self, tmp_path):
+        # Same seed, same faults, same outcome — chaos runs reproduce.
+        outcomes = []
+        for attempt in ("a", "b"):
+            ctx = ExperimentContext(
+                cache_dir=tmp_path / attempt, max_workers=2, on_error="retry")
+            ctx.simulate_many(POINTS[:2])  # populate cache
+            chaotic = ExperimentContext(
+                cache_dir=tmp_path / attempt, max_workers=2, on_error="retry")
+            with activate(_plan()):
+                results = chaotic.simulate_many(POINTS[:2])
+            statuses = tuple(
+                chaotic.manifest(*p).status for p in POINTS[:2])
+            outcomes.append((results, statuses))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestChaosIngest:
+    MTX = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 3\n"
+        "1 1 1.0\n"
+        "2 2 2.0\n"
+        "3 3 3.0\n"
+    )
+
+    def test_corrupted_entry_line_fails_with_line_number(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text(self.MTX)
+        plan = FaultPlan(seed=SEED, faults={
+            "ingest.entry": Fault(kind="corrupt_text", rate=0.0,
+                                  keys=("4",), payload="1 1 bogus extra")})
+        with activate(plan):
+            with pytest.raises(FormatError, match="line 4") as err:
+                read_matrix_market(path)
+        assert "SP605" in err.value.codes
+        # The fault fired exactly where the plan said.
+        fired = drain_fired()
+        assert [d.location for d in fired] == ["ingest.entry[4]"]
+
+    def test_clean_file_reads_under_inactive_site(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text(self.MTX)
+        plan = FaultPlan(seed=SEED, faults={
+            "ingest.entry": Fault(kind="corrupt_text", rate=0.0)})
+        with activate(plan):
+            coo = read_matrix_market(path)
+        assert coo.shape == (3, 3) and coo.nnz == 3
+        assert drain_fired() == []
