@@ -9,20 +9,28 @@ Commands
 - ``footprint``                 — Table I over the built-in suite
 - ``lint [workload ...]``       — static verifier over workload graphs
 - ``selfcheck``                 — AST self-lint of the library source
+- ``check [workload ...]``      — absint oracle: static traffic/buffer
+  bounds and OEI legality cross-checked against the simulator
 - ``trace <workload> -o t.json``— export a Chrome/Perfetto trace plus
   run manifest of one simulated run (load in https://ui.perfetto.dev)
 
-``--jobs N`` fans sweeps out over N worker processes; ``--cache DIR``
-persists simulation results on disk so reruns skip straight to the
-tables; ``--on-error skip|retry`` keeps a sweep alive through
-per-point failures (recorded in run manifests — docs/robustness.md).
+``lint``/``selfcheck`` take ``--format text|json`` and ``--baseline
+FILE`` (a per-code finding budget; exceeding it fails the command even
+for warnings, so new findings cannot accumulate silently — CI pins
+``diagnostics_baseline.json``). ``--jobs N`` fans sweeps out over N
+worker processes; ``--cache DIR`` persists simulation results on disk
+so reruns skip straight to the tables; ``--on-error skip|retry`` keeps
+a sweep alive through per-point failures (recorded in run manifests —
+docs/robustness.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List
+from collections import Counter
+from typing import Dict, List
 
 from repro.engine.registry import arch_names, get_arch
 from repro.experiments.runner import ExperimentContext
@@ -121,37 +129,146 @@ def _cmd_footprint(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _baseline_exceeded(
+    counts: Dict[str, int], baseline_path: str, section: str
+) -> int:
+    """Compare per-code finding counts against the baseline file's
+    ``section``; report and count codes over budget."""
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        budgets = json.load(fh).get(section, {})
+    over = 0
+    for code in sorted(counts):
+        budget = int(budgets.get(code, 0))
+        if counts[code] > budget:
+            over += 1
+            print(f"baseline exceeded: {code} x{counts[code]} "
+                  f"(budget {budget}) — new findings must be fixed or "
+                  "the baseline deliberately re-frozen", file=sys.stderr)
+    return over
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.workloads.registry import lint_registry
 
     reports = lint_registry(args.workloads or None)
-    n_errors = 0
-    n_warnings = 0
-    for name, report in reports.items():
-        n_errors += len(report.errors)
-        n_warnings += len(report.warnings)
-        if len(report) == 0:
-            print(f"{name}: ok")
-        else:
-            print(f"{name}:")
-            for line in report.format().splitlines():
-                print(f"  {line}")
-    print(f"\n{len(reports)} workload(s): {n_errors} error(s), "
-          f"{n_warnings} warning(s)")
-    return 1 if n_errors else 0
+    n_errors = sum(len(r.errors) for r in reports.values())
+    n_warnings = sum(len(r.warnings) for r in reports.values())
+    counts = Counter(c for r in reports.values() for c in r.codes())
+
+    if args.format == "json":
+        print(json.dumps({
+            "workloads": {
+                name: [d.as_dict() for d in report]
+                for name, report in reports.items()
+            },
+            "counts": dict(sorted(counts.items())),
+            "n_errors": n_errors,
+            "n_warnings": n_warnings,
+        }, sort_keys=True))
+    else:
+        for name, report in reports.items():
+            if len(report) == 0:
+                print(f"{name}: ok")
+            else:
+                print(f"{name}:")
+                for line in report.format().splitlines():
+                    print(f"  {line}")
+        print(f"\n{len(reports)} workload(s): {n_errors} error(s), "
+              f"{n_warnings} warning(s)")
+    over = (_baseline_exceeded(counts, args.baseline, "lint")
+            if args.baseline else 0)
+    return 1 if n_errors or over else 0
 
 
-def _cmd_selfcheck(_args: argparse.Namespace) -> int:
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
     from repro.analysis.selfcheck import selfcheck
 
     report = selfcheck()
-    if len(report) == 0:
+    counts = Counter(report.codes())
+    if args.format == "json":
+        print(json.dumps({
+            "diagnostics": [d.as_dict() for d in report],
+            "counts": dict(sorted(counts.items())),
+            "n_errors": len(report.errors),
+            "n_warnings": len(report.warnings),
+        }, sort_keys=True))
+    elif len(report) == 0:
         print("selfcheck: ok")
     else:
         print(report.format())
         print(f"\n{len(report.errors)} error(s), "
               f"{len(report.warnings)} warning(s)")
-    return 1 if report.errors else 0
+    over = (_baseline_exceeded(counts, args.baseline, "selfcheck")
+            if args.baseline else 0)
+    return 1 if report.errors or over else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """The absint oracle: static bounds + OEI legality vs the
+    simulator, per workload."""
+    from repro.analysis.bounds import resolve_capacity, static_report
+    from repro.arch.config import SparsepipeConfig
+    from repro.arch.loaders import LoadPlan
+    from repro.arch.simulator import SparsepipeSimulator
+    from repro.matrices import SUITE
+    from repro.workloads.registry import get_workload, workload_names
+
+    backends = (("vectorized", "reference") if args.backend == "both"
+                else (args.backend,))
+    workloads = args.workloads or list(workload_names())
+    context = _make_context(args)
+    paper_nnz = SUITE[args.matrix].paper_nnz
+    prep = context.prepared(args.matrix)
+
+    docs = []
+    n_errors = 0
+    for name in workloads:
+        profile = context.profile(name, args.matrix)
+        graph = get_workload(name).build_graph()
+        for backend in backends:
+            config = SparsepipeConfig(backend=backend)
+            plan = LoadPlan.from_matrix(prep, config.subtensor_cols)
+            capacity = resolve_capacity(config, plan, paper_nnz)
+            report = static_report(
+                graph, profile, plan, config, capacity, matrix=args.matrix
+            )
+            result = SparsepipeSimulator(config).run(
+                profile, prep, paper_nnz=paper_nnz, observers=()
+            )
+            oracle = report.check_against(result)
+            oracle.extend(report.diagnostics)
+            n_errors += len(oracle.errors)
+            # The SP701 agreement is already diagnosed inside the report;
+            # this is the belt-and-braces dynamic side of the same check.
+            agree = report.oei.fusible == profile.has_oei
+            if not agree:
+                n_errors += 1
+            doc = report.to_dict()
+            doc["backend"] = backend
+            doc["oracle_ok"] = oracle.ok and agree
+            doc["simulated"] = {
+                "traffic": dict(result.traffic.bytes_by_category),
+                "total_bytes": result.traffic.total_bytes,
+                "buffer_peak_bytes": result.buffer_peak_bytes,
+            }
+            docs.append(doc)
+            if args.format != "json":
+                verdict = "ok" if (oracle.ok and agree) else "VIOLATED"
+                oei = "oei" if report.oei.fusible else "stream"
+                print(f"{name:6} {backend:10} {oei:6} "
+                      f"traffic {result.traffic.total_bytes:>12.0f} "
+                      f"<= {report.bounds.total_bytes:>12.0f} B  "
+                      f"peak {result.buffer_peak_bytes:>9.0f} "
+                      f"<= {report.bounds.buffer_peak_bytes:>10.0f} B  "
+                      f"{verdict}")
+                for line in oracle.format().splitlines()[1:]:
+                    print(f"  {line}")
+    if args.format == "json":
+        print(json.dumps({"points": docs, "n_errors": n_errors},
+                         sort_keys=True))
+    else:
+        print(f"\n{len(docs)} point(s) checked: {n_errors} violation(s)")
+    return 1 if n_errors else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -185,6 +302,16 @@ def _cmd_export(args: argparse.Namespace) -> int:
     path = export_all(args.path, _make_context(args))
     print(f"wrote {path}")
     return 0
+
+
+def _add_diag_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON per-code finding budget; counts above it fail the "
+             "command even for warnings (CI pins diagnostics_baseline.json)",
+    )
 
 
 def _add_context_flags(parser: argparse.ArgumentParser) -> None:
@@ -241,7 +368,31 @@ def build_parser() -> argparse.ArgumentParser:
         "workloads", nargs="*",
         help="workload names (default: every registered workload)",
     )
-    sub.add_parser("selfcheck", help="AST self-lint of the library source")
+    _add_diag_flags(p_lint)
+
+    p_self = sub.add_parser(
+        "selfcheck", help="AST self-lint of the library source"
+    )
+    _add_diag_flags(p_self)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="absint oracle: static bounds and OEI legality vs the simulator",
+    )
+    p_chk.add_argument(
+        "workloads", nargs="*",
+        help="workload names (default: every registered workload)",
+    )
+    p_chk.add_argument("-m", "--matrix", default="gy",
+                       help="suite matrix name (default: gy)")
+    p_chk.add_argument(
+        "--backend", choices=("both", "vectorized", "reference"),
+        default="both",
+        help="simulator backend(s) to cross-check (default: both)",
+    )
+    p_chk.add_argument("--format", choices=("text", "json"), default="text",
+                       help="output format (default: text)")
+    _add_context_flags(p_chk)
 
     p_tr = sub.add_parser(
         "trace", help="export a Chrome/Perfetto trace of one simulated run"
@@ -277,6 +428,7 @@ def main(argv: List[str] = None) -> int:
         "footprint": _cmd_footprint,
         "lint": _cmd_lint,
         "selfcheck": _cmd_selfcheck,
+        "check": _cmd_check,
         "trace": _cmd_trace,
         "summary": _cmd_summary,
         "export": _cmd_export,

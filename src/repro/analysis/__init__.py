@@ -13,21 +13,39 @@ diagnostics (stable code, severity, location, fix hint):
 - :mod:`repro.analysis.passes` — the verifier pass pipeline over
   :class:`~repro.dataflow.graph.DataflowGraph`,
   :class:`~repro.dataflow.program.OEIProgram`, and the OEI schedule,
-- :mod:`repro.analysis.selfcheck` — AST rules enforcing repository
-  invariants over ``src/repro`` itself (SP9xx).
+- :mod:`repro.analysis.absint` — abstract interpretation over the
+  graph: per-edge abstract values, a static OEI fusibility decision
+  cross-checked against the dynamic detector (SP701/SP704),
+- :mod:`repro.analysis.bounds` — static traffic/buffer upper bounds
+  and the :class:`~repro.analysis.bounds.StaticReport` oracle checked
+  against simulated results (SP702/SP703),
+- :mod:`repro.analysis.selfcheck` — AST rule passes enforcing
+  repository invariants over ``src/repro`` itself (SP9xx, including
+  the SP91x concurrency-safety family).
 
 Entry points: ``compile_program(..., verify=...)`` runs the graph
 pipeline on every compile, ``python -m repro lint`` lints registered
-workloads, and ``python -m repro selfcheck`` lints the source tree.
-``docs/analysis.md`` catalogues every diagnostic code.
+workloads, ``python -m repro selfcheck`` lints the source tree, and
+``python -m repro check`` runs the absint oracle against the
+simulator. ``docs/analysis.md`` catalogues every diagnostic code.
 """
 
+from repro.analysis.absint import (
+    AbstractValue,
+    Interval,
+    StaticOEIDecision,
+    abstract_interpret,
+    oei_crosscheck,
+    static_oei_decision,
+)
+from repro.analysis.bounds import StaticReport, TrafficBounds, static_report, traffic_bounds
 from repro.analysis.diagnostics import (
     CODES,
     CodeSpec,
     DiagnosticReport,
     DiagnosticWarning,
     diagnostic,
+    register_code,
 )
 from repro.analysis.passes import (
     lint_workload,
@@ -39,15 +57,26 @@ from repro.analysis.selfcheck import selfcheck
 from repro.errors import Diagnostic, Severity
 
 __all__ = [
+    "AbstractValue",
     "CODES",
     "CodeSpec",
     "Diagnostic",
     "DiagnosticReport",
     "DiagnosticWarning",
+    "Interval",
     "Severity",
+    "StaticOEIDecision",
+    "StaticReport",
+    "TrafficBounds",
+    "abstract_interpret",
     "diagnostic",
     "lint_workload",
+    "oei_crosscheck",
+    "register_code",
     "selfcheck",
+    "static_oei_decision",
+    "static_report",
+    "traffic_bounds",
     "verify_graph",
     "verify_program",
     "verify_schedule",

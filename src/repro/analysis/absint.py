@@ -1,0 +1,531 @@
+"""Abstract interpretation over dataflow graphs (the SP7xx family).
+
+The verifier passes of :mod:`repro.analysis.passes` check *local*
+shape; this module interprets the whole graph over an abstract domain
+— without executing anything — and derives global facts:
+
+- a per-tensor :class:`AbstractValue` (rank, constancy, storage
+  formats, an nnz interval, and the OEI reuse distance to the nearest
+  upstream contraction output),
+- a static OEI fusibility/legality decision
+  (:func:`static_oei_decision`) computed by fixpoint relaxation over
+  the element-wise dependency relation — deliberately a *different
+  algorithm* from the dynamic BFS in
+  :func:`repro.dataflow.oei_detect.find_oei_path`, so the two can
+  cross-check each other (:func:`oei_crosscheck`, SP701),
+- storage-format conflicts for pinned contractions (SP704), which
+  generalize SP204 beyond the detected OEI pair.
+
+The nnz intervals are *sound upper structures*: the true non-zero
+count of every concrete execution lies inside the interval, assuming
+only that the semiring has no additive inverses cancelling terms
+(Sparsepipe's semirings are all in this class). Unknown operators
+degrade to the dense top element rather than guessing.
+
+:mod:`repro.analysis.bounds` builds the traffic/buffer side of the
+static story on top of this module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.dataflow.dependency import is_subtensor
+from repro.dataflow.graph import DataflowGraph, OpKind, OpNode, TensorKind
+from repro.dataflow.oei_detect import (
+    OEIPath,
+    _matrix_input,
+    _scalar_blockers,
+    _vector_input,
+    find_oei_path,
+)
+
+#: Storage sides assumed for a matrix with no declared formats.
+DUAL_FORMATS: FrozenSet[str] = frozenset({"csc", "csr"})
+
+#: Loop-carried edges crossed at most this often by a legal OEI path
+#: (mirrors the dynamic detector; more crossings fuse nothing new).
+MAX_CARRY_CROSSINGS = 2
+
+#: Binary operators with ``0 op 0 == 0`` *and* an annihilating zero
+#: (``0 op x == x op 0 == 0``): output nnz is bounded by the smallest
+#: input's.
+_ANNIHILATING_BINARY = frozenset({"times", "land"})
+
+#: Binary operators with ``0 op 0 == 0`` but no annihilator: a nonzero
+#: output element needs a nonzero in at least one input at that index,
+#: so output nnz is bounded by the *sum* of input nnz.
+_ZERO_PRESERVING_BINARY = frozenset(
+    {"plus", "minus", "min", "max", "lor", "abs_diff", "first", "second"}
+)
+
+#: Unary operators with ``op(0) == 0``: nnz is preserved or shrunk.
+#: (``one`` and ``minv`` map zero to nonzero and are deliberately absent.)
+_ZERO_PRESERVING_UNARY = frozenset(
+    {"identity", "abs", "ainv", "relu", "sqrt", "isnonzero"}
+)
+
+
+# ----------------------------------------------------------------------
+# Abstract domain
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` over non-negative counts; ``hi``
+    may be ``inf`` (the top element)."""
+
+    lo: float = 0.0
+    hi: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @classmethod
+    def exact(cls, value: float) -> "Interval":
+        return cls(float(value), float(value))
+
+    @classmethod
+    def upto(cls, hi: float) -> "Interval":
+        return cls(0.0, float(hi))
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(0.0, math.inf)
+
+    def join(self, other: "Interval") -> "Interval":
+        """Least upper bound (interval hull)."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def clamp(self, hi: float) -> "Interval":
+        return Interval(min(self.lo, hi), min(self.hi, hi))
+
+    def __contains__(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __repr__(self) -> str:
+        hi = "inf" if math.isinf(self.hi) else f"{self.hi:g}"
+        return f"[{self.lo:g}, {hi}]"
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """What the interpreter knows about one tensor edge.
+
+    ``reuse_distance`` is the number of element-wise hops from the
+    nearest upstream contraction output along sub-tensor-dependent
+    ops within this iteration (0 for the output itself); ``None`` when
+    the tensor is not sub-tensor-dependent on any contraction output —
+    reductions and unknown operators break the chain.
+    """
+
+    kind: TensorKind
+    constant: bool = False
+    formats: FrozenSet[str] = frozenset()
+    nnz: Interval = field(default_factory=Interval.top)
+    reuse_distance: Optional[int] = None
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        if self.kind is not other.kind:
+            raise ValueError(
+                f"cannot join abstract values of kinds {self.kind} / {other.kind}"
+            )
+        if self.reuse_distance is None:
+            distance = other.reuse_distance
+        elif other.reuse_distance is None:
+            distance = self.reuse_distance
+        else:
+            distance = min(self.reuse_distance, other.reuse_distance)
+        return AbstractValue(
+            kind=self.kind,
+            constant=self.constant and other.constant,
+            formats=self.formats | other.formats,
+            nnz=self.nnz.join(other.nnz),
+            reuse_distance=distance,
+        )
+
+
+AbstractEnv = Dict[str, AbstractValue]
+
+
+# ----------------------------------------------------------------------
+# Abstract interpretation proper
+# ----------------------------------------------------------------------
+def _initial_env(
+    graph: DataflowGraph, n: float, matrix_nnz: Mapping[str, int]
+) -> AbstractEnv:
+    env: AbstractEnv = {}
+    for name, tensor in graph.tensors.items():
+        if tensor.kind is TensorKind.MATRIX:
+            hi = float(matrix_nnz.get(name, n * n))
+            value = AbstractValue(
+                kind=tensor.kind,
+                constant=tensor.constant,
+                formats=graph.matrix_formats.get(name, DUAL_FORMATS),
+                nnz=Interval.upto(hi),
+            )
+        elif tensor.kind is TensorKind.VECTOR:
+            value = AbstractValue(
+                kind=tensor.kind,
+                constant=tensor.constant,
+                nnz=Interval.upto(n),
+            )
+        else:
+            value = AbstractValue(
+                kind=tensor.kind,
+                constant=tensor.constant,
+                nnz=Interval.upto(1.0),
+            )
+        env[name] = value
+    return env
+
+
+def _maps_zero_to_nonzero(op: OpNode) -> bool:
+    """Conservatively: does the op potentially turn a zero element into
+    a nonzero one (densifying its output)?"""
+    if op.scalar_operand is not None:
+        # Runtime scalar of unknown value combined with every element.
+        return op.op_name not in _ANNIHILATING_BINARY
+    if op.immediate is not None:
+        if op.op_name in _ANNIHILATING_BINARY:
+            return False
+        return op.immediate != 0.0
+    return False
+
+
+def _ewise_nnz(op: OpNode, inputs: List[AbstractValue], n: float) -> Interval:
+    """Output nnz interval of an element-wise op."""
+    vector_inputs = [v for v in inputs if v.kind is not TensorKind.SCALAR]
+    if not vector_inputs:
+        return Interval.upto(n)
+    if _maps_zero_to_nonzero(op):
+        return Interval.upto(n)
+    his = [v.nnz.hi for v in vector_inputs]
+    if op.kind is OpKind.NOOP or (len(vector_inputs) == 1
+                                  and op.op_name in _ZERO_PRESERVING_UNARY):
+        return Interval.upto(min(min(his), n))
+    if op.op_name in _ANNIHILATING_BINARY:
+        return Interval.upto(min(min(his), n))
+    if op.op_name in _ZERO_PRESERVING_BINARY:
+        return Interval.upto(min(sum(his), n))
+    # Unknown operator: dense top.
+    return Interval.upto(n)
+
+
+def abstract_interpret(
+    graph: DataflowGraph,
+    n: Optional[float] = None,
+    matrix_nnz: Optional[Mapping[str, int]] = None,
+    max_passes: int = 8,
+) -> AbstractEnv:
+    """Propagate abstract values through ``graph`` to a loop-carried
+    fixpoint.
+
+    ``n`` is the (symbolic) vector length — ``None`` means unknown, and
+    every dense bound degrades to ``inf``. ``matrix_nnz`` optionally
+    pins the nnz of named (usually constant) matrices.
+
+    The iteration is monotone over a finite-height lattice once
+    intervals are clamped to ``n``; with ``n`` unknown the loop widens
+    any still-changing interval to top after ``max_passes`` passes, so
+    it always terminates.
+    """
+    length = math.inf if n is None else float(n)
+    env = _initial_env(graph, length, matrix_nnz or {})
+    scalar_upstream = _scalar_blockers(graph)
+    contraction_outputs = {op.output.name for op in graph.contractions()}
+    order = graph.topo_order(graph.ops)
+
+    for pass_no in range(max_passes):
+        changed = False
+        for op in order:
+            value = _transfer(op, env, length, scalar_upstream,
+                              contraction_outputs)
+            old = env.get(op.output.name)
+            if old is not None and old.kind is value.kind:
+                value = AbstractValue(
+                    kind=value.kind,
+                    constant=old.constant,
+                    formats=value.formats,
+                    nnz=value.nnz if pass_no == 0 else old.nnz.join(value.nnz),
+                    reuse_distance=value.reuse_distance,
+                )
+            if value != old:
+                env[op.output.name] = value
+                changed = True
+        # Loop-carried joins: next iteration's input sees this
+        # iteration's output.
+        for produced, consumed in graph.loop_carried.items():
+            if produced in env and consumed in env:
+                joined = env[consumed].join(env[produced])
+                if joined != env[consumed]:
+                    env[consumed] = joined
+                    changed = True
+        if not changed:
+            break
+    else:
+        # Widen: anything still in flux goes to the dense bound.
+        for name, value in list(env.items()):
+            if value.kind is TensorKind.VECTOR:
+                env[name] = AbstractValue(
+                    kind=value.kind, constant=value.constant,
+                    formats=value.formats, nnz=Interval.upto(length),
+                    reuse_distance=value.reuse_distance,
+                )
+    return env
+
+
+def _transfer(
+    op: OpNode,
+    env: AbstractEnv,
+    n: float,
+    scalar_upstream: Mapping[str, set],
+    contraction_outputs: set,
+) -> AbstractValue:
+    """Abstract semantics of one op."""
+    inputs = [env[t.name] for t in op.inputs if t.name in env]
+    out_kind = op.output.kind
+
+    if op.kind in (OpKind.VXM, OpKind.MXV):
+        matrix = next((v for v in inputs if v.kind is TensorKind.MATRIX), None)
+        hi = n if matrix is None else min(n, matrix.nnz.hi)
+        return AbstractValue(kind=out_kind, nnz=Interval.upto(hi),
+                             reuse_distance=0)
+    if op.kind is OpKind.MXM:
+        # Forward-compatible SpGEMM bound: nnz(AB) <= min(n^2,
+        # nnz(A) * nnz(B)) without inspecting structure.
+        matrices = [v for v in inputs if v.kind is TensorKind.MATRIX]
+        hi = n * n
+        if len(matrices) >= 2:
+            hi = min(hi, matrices[0].nnz.hi * matrices[1].nnz.hi)
+        return AbstractValue(kind=out_kind, nnz=Interval.upto(hi),
+                             reuse_distance=0)
+    if op.kind in (OpKind.REDUCE, OpKind.DOT):
+        return AbstractValue(kind=out_kind, nnz=Interval.upto(1.0),
+                             reuse_distance=None)
+
+    # Element-wise family (EWISE / APPLY / NOOP).
+    nnz = _ewise_nnz(op, inputs, n)
+    distance: Optional[int] = None
+    if is_subtensor(op):
+        blocker = scalar_upstream.get(op.scalar_operand)
+        blocked = blocker is not None and bool(blocker & contraction_outputs)
+        if not blocked:
+            upstream = [v.reuse_distance for v in inputs
+                        if v.reuse_distance is not None]
+            if upstream:
+                distance = min(upstream) + 1
+    return AbstractValue(kind=out_kind, nnz=nnz, reuse_distance=distance)
+
+
+# ----------------------------------------------------------------------
+# Static OEI fusibility / legality
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StaticOEIDecision:
+    """The abstract interpreter's verdict on OEI fusion.
+
+    ``fusible`` states that a sub-tensor-dependent path from a
+    contraction output to a same-constant-matrix contraction input
+    exists (the property :func:`find_oei_path` detects dynamically);
+    ``legal`` additionally requires the declared storage formats and
+    dataflow pins to admit the OS -> IS pairing. ``blockers`` lists
+    human-readable reasons whenever ``legal`` is weaker than
+    ``fusible``.
+    """
+
+    fusible: bool
+    legal: bool
+    src_name: Optional[str] = None
+    dst_name: Optional[str] = None
+    matrix_name: Optional[str] = None
+    iteration_distance: Optional[int] = None
+    n_ewise_ops: Optional[int] = None
+    blockers: Tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "fusible": self.fusible,
+            "legal": self.legal,
+            "src": self.src_name,
+            "dst": self.dst_name,
+            "matrix": self.matrix_name,
+            "iteration_distance": self.iteration_distance,
+            "n_ewise_ops": self.n_ewise_ops,
+            "blockers": list(self.blockers),
+        }
+
+
+def _relax_reachability(
+    graph: DataflowGraph, src: OpNode, scalar_upstream: Mapping[str, set]
+) -> Dict[Tuple[str, int], int]:
+    """Minimum element-wise-op counts for every ``(tensor, crossings)``
+    state reachable from ``src``'s output along sub-tensor-dependent
+    edges, by Bellman-Ford-style relaxation to a fixpoint.
+
+    This intentionally shares no traversal code with the BFS in
+    :func:`find_oei_path`; agreement between the two is asserted by
+    SP701 rather than by construction.
+    """
+    dist: Dict[Tuple[str, int], int] = {(src.output.name, 0): 0}
+    # Precompute the sub-tensor edge list once; an edge is blocked when
+    # the consuming op's runtime scalar reduces *this* source's output
+    # within the iteration (CG's alpha) — per-source, like the dynamic
+    # detector.
+    edges: List[Tuple[str, str]] = []
+    for op in graph.ops:
+        if not is_subtensor(op):
+            continue
+        blocker = scalar_upstream.get(op.scalar_operand)
+        if blocker is not None and src.output.name in blocker:
+            continue
+        for t in op.inputs:
+            edges.append((t.name, op.output.name))
+
+    changed = True
+    while changed:
+        changed = False
+        for (tensor, crossings), d in list(dist.items()):
+            for u, v in edges:
+                if u != tensor:
+                    continue
+                state = (v, crossings)
+                if d + 1 < dist.get(state, math.inf):
+                    dist[state] = d + 1
+                    changed = True
+            carried = graph.loop_carried.get(tensor)
+            if carried is not None and crossings < MAX_CARRY_CROSSINGS:
+                state = (carried, crossings + 1)
+                if d < dist.get(state, math.inf):
+                    dist[state] = d
+                    changed = True
+    return dist
+
+
+def static_oei_decision(graph: DataflowGraph) -> StaticOEIDecision:
+    """Decide OEI fusibility and legality without running the dynamic
+    detector."""
+    contractions = graph.contractions()
+    scalar_upstream = _scalar_blockers(graph)
+    best: Optional[Tuple[int, int, OpNode, OpNode, str]] = None
+
+    for src in contractions:
+        src_matrix = _matrix_input(src)
+        if src_matrix is None or not graph.tensors[src_matrix].constant:
+            continue
+        dist = _relax_reachability(graph, src, scalar_upstream)
+        for dst in contractions:
+            if _matrix_input(dst) != src_matrix:
+                continue
+            vec = _vector_input(dst)
+            if vec is None:
+                continue
+            for crossings in range(MAX_CARRY_CROSSINGS + 1):
+                if dst is src and crossings == 0:
+                    continue  # a contraction cannot feed itself in-iteration
+                d = dist.get((vec, crossings))
+                if d is None:
+                    continue
+                key = (d, crossings)
+                if best is None or key < (best[0], best[1]):
+                    best = (d, crossings, src, dst, src_matrix)
+
+    if best is None:
+        return StaticOEIDecision(fusible=False, legal=False)
+
+    n_ops, crossings, src, dst, matrix_name = best
+    blockers: List[str] = []
+    formats = graph.matrix_formats.get(matrix_name)
+    if formats is not None:
+        missing = sorted({"csc", "csr"} - set(formats))
+        if missing:
+            blockers.append(
+                f"matrix {matrix_name!r} lacks the {missing} storage side(s)"
+            )
+    if src.dataflow not in (None, "os"):
+        blockers.append(
+            f"source {src.name!r} is pinned to the {src.dataflow!r} dataflow"
+        )
+    if dst.dataflow not in (None, "is"):
+        blockers.append(
+            f"destination {dst.name!r} is pinned to the {dst.dataflow!r} dataflow"
+        )
+    return StaticOEIDecision(
+        fusible=True,
+        legal=not blockers,
+        src_name=src.name,
+        dst_name=dst.name,
+        matrix_name=matrix_name,
+        iteration_distance=crossings,
+        n_ewise_ops=n_ops,
+        blockers=tuple(blockers),
+    )
+
+
+# ----------------------------------------------------------------------
+# SP701 / SP704 diagnostics
+# ----------------------------------------------------------------------
+_REQUIRED_SIDE = {"os": "csc", "is": "csr"}
+_UNSET = object()
+
+
+def oei_crosscheck(
+    graph: DataflowGraph, dynamic_path: object = _UNSET
+) -> DiagnosticReport:
+    """Cross-check the static decision against the dynamic detector.
+
+    ``dynamic_path`` is injectable for testing; by default the dynamic
+    side is recomputed via :func:`find_oei_path`.
+    """
+    report = DiagnosticReport(subject=f"absint {graph.name}")
+    decision = static_oei_decision(graph)
+    path: Optional[OEIPath]
+    path = find_oei_path(graph) if dynamic_path is _UNSET else dynamic_path
+    if decision.fusible != (path is not None):
+        static_says = "fusible" if decision.fusible else "not fusible"
+        dynamic_says = (
+            f"found {path.src.name!r} -> {path.dst.name!r}"
+            if path is not None else "found no path"
+        )
+        report.add(
+            "SP701",
+            f"abstract interpreter says the graph is {static_says} but "
+            f"the dynamic detector {dynamic_says}",
+            f"graph {graph.name}",
+        )
+    return report
+
+
+def format_conflicts(graph: DataflowGraph) -> DiagnosticReport:
+    """SP704: a pinned contraction whose matrix lacks the storage side
+    that dataflow streams (OS: csc, IS: csr)."""
+    report = DiagnosticReport(subject=f"absint {graph.name}")
+    for op in graph.contractions():
+        side = _REQUIRED_SIDE.get(op.dataflow)
+        if side is None:
+            continue
+        matrix_name = _matrix_input(op)
+        if matrix_name is None:
+            continue
+        formats = graph.matrix_formats.get(matrix_name)
+        if formats is not None and side not in formats:
+            report.add(
+                "SP704",
+                f"contraction {op.name!r} is pinned to the "
+                f"{op.dataflow!r} dataflow, which streams matrix "
+                f"{matrix_name!r} in {side}, but its declared formats "
+                f"are {sorted(formats)}",
+                f"graph {graph.name} / op {op.name}",
+            )
+    return report
+
+
+def verify_absint(graph: DataflowGraph) -> DiagnosticReport:
+    """All graph-level absint diagnostics (SP701 + SP704) — the hook
+    :func:`repro.analysis.passes.verify_graph` runs as a legality pass."""
+    report = oei_crosscheck(graph)
+    report.extend(format_conflicts(graph))
+    return report

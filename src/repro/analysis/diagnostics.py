@@ -9,7 +9,15 @@ one stable entry in :data:`CODES`:
 - ``SP3xx`` — pipeline-step schedule legality,
 - ``SP6xx`` — runtime resilience (supervised sweeps, cache
   quarantine, strict ingest, fault injection),
-- ``SP9xx`` — repository self-lint (AST rules over ``src/repro``).
+- ``SP7xx`` — abstract interpretation (:mod:`repro.analysis.absint`):
+  static/dynamic OEI disagreement and simulator-oracle bound
+  violations,
+- ``SP9xx`` — repository self-lint (AST rules over ``src/repro``),
+  including the ``SP91x`` concurrency-safety family.
+
+Codes are registered through :func:`register_code`, which rejects a
+duplicate code at import time — a collision would otherwise silently
+shadow the earlier rule's catalogue entry.
 
 ``docs/analysis.md`` catalogues the same table for humans; a golden
 test keeps the two in sync. The :class:`Diagnostic` record itself lives
@@ -44,9 +52,23 @@ def _spec(code: str, title: str, severity: Severity, hint: str) -> CodeSpec:
 
 
 #: Every diagnostic code the toolchain can emit, keyed by code.
-CODES: Dict[str, CodeSpec] = {
-    s.code: s
-    for s in (
+CODES: Dict[str, CodeSpec] = {}
+
+
+def register_code(spec: CodeSpec) -> CodeSpec:
+    """Register one diagnostic code; duplicate codes are an import-time
+    error, never a silent shadow."""
+    existing = CODES.get(spec.code)
+    if existing is not None:
+        raise ValueError(
+            f"duplicate diagnostic code registration: {spec.code} "
+            f"({existing.title!r} vs {spec.title!r})"
+        )
+    CODES[spec.code] = spec
+    return spec
+
+
+for _s in (
         # ---- SP1xx: graph structure -------------------------------------
         _spec("SP101", "rank-mismatch", Severity.ERROR,
               "give the op operands of the ranks its kind requires "
@@ -155,6 +177,24 @@ CODES: Dict[str, CodeSpec] = {
         _spec("SP607", "fault-injected", Severity.INFO,
               "a deterministic FaultPlan fault fired at an "
               "instrumented site (chaos testing only)"),
+        # ---- SP7xx: abstract interpretation -----------------------------
+        _spec("SP701", "absint-oei-disagreement", Severity.ERROR,
+              "the abstract interpreter and the dynamic oei_detect "
+              "disagree on whether the graph admits an OEI pair; one "
+              "of the two analyses is wrong — file a bug with the "
+              "graph, do not silence the check"),
+        _spec("SP702", "traffic-bound-violated", Severity.ERROR,
+              "the simulated per-category DRAM traffic exceeded the "
+              "static upper bound; either the analyzer under-counts "
+              "or the simulator moves bytes the model says it cannot"),
+        _spec("SP703", "buffer-bound-violated", Severity.ERROR,
+              "the simulated peak buffer occupancy exceeded the "
+              "static window + CSR-capacity bound; the buffer "
+              "admitted state outside the no-eviction reuse window"),
+        _spec("SP704", "absint-format-conflict", Severity.ERROR,
+              "a contraction is pinned to a dataflow whose required "
+              "storage side (OS: csc, IS: csr) is missing from the "
+              "matrix's declared formats; declare the side or unpin"),
         # ---- SP9xx: repository self-lint --------------------------------
         _spec("SP901", "forbidden-import", Severity.ERROR,
               "scipy/networkx are test-only cross-checks (DESIGN.md); "
@@ -173,8 +213,26 @@ CODES: Dict[str, CodeSpec] = {
               "per-step Python loops belong to the reference backend "
               "(arch/simulator.py) only; express the computation as "
               "array ops in repro.arch.fastpath instead"),
-    )
-}
+        # ---- SP91x: concurrency safety (service arc) --------------------
+        _spec("SP911", "pool-captured-global", Severity.ERROR,
+              "mutable module-global state mutated outside a worker "
+              "initializer is silently stale in pool workers (fork) "
+              "or absent (spawn); move the mutation into an "
+              "_init_worker/install-style initializer passed to the "
+              "pool, or thread the state through arguments"),
+        _spec("SP912", "non-atomic-cache-write", Severity.ERROR,
+              "cache/state files must be written via ResultCache's "
+              "tmp-rename protocol (write to a pid-unique .tmp, then "
+              "Path.replace) so a concurrent reader never observes a "
+              "torn file; write the temp file and rename it"),
+        _spec("SP913", "blocking-supervisor-wait", Severity.ERROR,
+              "supervisor code must never block unboundedly: replace "
+              "time.sleep polling with event/timeout waits and give "
+              "every Future.result()/join a timeout so a hung worker "
+              "cannot hang the sweep"),
+    ):
+    register_code(_s)
+del _s
 
 
 def diagnostic(code: str, message: str, location: str = "",

@@ -327,6 +327,21 @@ def _check_oei_pairing(graph: DataflowGraph, report: DiagnosticReport) -> None:
                    _loc(graph, path.dst))
 
 
+# ----------------------------------------------------------------------
+# SP701/SP704: abstract-interpretation cross-checks
+# ----------------------------------------------------------------------
+def _check_absint_agreement(
+    graph: DataflowGraph, report: DiagnosticReport
+) -> None:
+    """Run the abstract interpreter's graph-level checks: the static
+    OEI decision must agree with the dynamic detector (SP701), and
+    pinned contractions must have their streaming side declared
+    (SP704)."""
+    from repro.analysis.absint import verify_absint
+
+    report.extend(verify_absint(graph))
+
+
 #: Structural passes always run; legality passes only run on a
 #: structurally sound graph (they call helpers that assume one).
 _STRUCTURAL_PASSES: Sequence[Callable] = (
@@ -341,6 +356,7 @@ _LEGALITY_PASSES: Sequence[Callable] = (
     _check_semiring_uniformity,
     _check_fusion_dependencies,
     _check_oei_pairing,
+    _check_absint_agreement,
 )
 
 

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.absint import StaticOEIDecision
 
 from repro.analysis.diagnostics import DiagnosticWarning
 from repro.dataflow.fusion import FusedGroup, fuse_ewise
@@ -34,12 +37,19 @@ VERIFY_MODES = ("error", "warn", "off")
 
 @dataclass(frozen=True)
 class DataflowAnalysis:
-    """What the dependence analysis learned about a loop body."""
+    """What the dependence analysis learned about a loop body.
+
+    ``static_oei`` carries the abstract interpreter's independent
+    fusibility verdict (:mod:`repro.analysis.absint`); it agrees with
+    ``oei_path`` on every verified graph — a disagreement is an SP701
+    error the verifier raises before lowering.
+    """
 
     graph: DataflowGraph
     fused_groups: tuple
     oei_path: Optional[OEIPath]
     semiring_name: str
+    static_oei: Optional["StaticOEIDecision"] = None
 
     @property
     def has_oei(self) -> bool:
@@ -81,12 +91,16 @@ def _contraction_semiring(graph: DataflowGraph) -> str:
 
 
 def analyze(graph: DataflowGraph) -> DataflowAnalysis:
-    """Dependence analysis: fuse e-wise groups and find the OEI path."""
+    """Dependence analysis: fuse e-wise groups and find the OEI path,
+    plus the abstract interpreter's independent fusibility decision."""
+    from repro.analysis.absint import static_oei_decision
+
     return DataflowAnalysis(
         graph=graph,
         fused_groups=tuple(fuse_ewise(graph)),
         oei_path=find_oei_path(graph),
         semiring_name=_contraction_semiring(graph),
+        static_oei=static_oei_decision(graph),
     )
 
 

@@ -105,3 +105,39 @@ def reuse_footprint(
         avg_live=float(series.mean()),
         series=series,
     )
+
+
+def window_entry_bytes(plan) -> float:
+    """Bytes that ever *enter* a pair's CSR reuse window under the
+    given :class:`~repro.arch.loaders.LoadPlan` — elements whose
+    scatter step trails their load step.
+
+    Every ``csr_reload`` byte the buffer can charge in one pair is a
+    re-fetch of an evicted window element, and each element is evicted
+    at most once, so this is a sound per-pair upper bound on reload
+    traffic (used by :mod:`repro.analysis.bounds`).
+    """
+    entered = sum(c for counts in plan.enter_counts for c in counts.values())
+    return float(entered) * plan.element_bytes
+
+
+def window_peak_bytes(plan) -> float:
+    """Peak bytes live in a pair's CSR reuse window assuming *no*
+    eviction ever happens, from the plan's admission schedule alone.
+
+    An element admitted at load step ``l`` with scatter step ``r`` is
+    resident at every occupancy sample ``s`` with ``l <= s <= r``
+    (:class:`~repro.arch.buffer.OnChipBuffer` samples after admission
+    and before release). Eviction only shrinks residency, so the
+    no-eviction series dominates the simulated live occupancy — the
+    static buffer-peak bound of :mod:`repro.analysis.bounds` is this
+    plus the prefetcher's slack-bounded CSR capacity.
+    """
+    diff = np.zeros(plan.n_steps + 2, dtype=np.int64)
+    for l, counts in enumerate(plan.enter_counts):
+        for r, c in counts.items():
+            diff[l] += c
+            diff[min(r + 1, plan.n_steps + 1)] -= c
+    series = np.cumsum(diff[:-1])
+    peak = int(series.max()) if series.size else 0
+    return float(peak) * plan.element_bytes

@@ -225,3 +225,240 @@ class TestStepLoops:
             """,
         })
         assert not selfcheck(tmp_path).has("SP905")
+
+
+class TestResilienceDeterminism:
+    """SP904's hot-path scope now includes resilience/ — the fault
+    injector must stay seed-derived."""
+
+    def test_sp904_fires_in_resilience(self, tmp_path):
+        write_tree(tmp_path, {
+            "resilience/chaos.py": """
+                import numpy as np
+                rng = np.random.default_rng()
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP904")
+
+    def test_sp904_wall_clock_in_resilience(self, tmp_path):
+        write_tree(tmp_path, {
+            "resilience/sup.py": """
+                import time
+
+                def stamp():
+                    return time.monotonic()
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP904")
+
+
+class TestPoolGlobals:
+    def test_sp911_global_mutated_outside_initializer(self, tmp_path):
+        write_tree(tmp_path, {
+            "engine/state.py": """
+                _CACHE = None
+
+                def set_cache(cache):
+                    global _CACHE
+                    _CACHE = cache
+            """,
+        })
+        report = selfcheck(tmp_path)
+        assert report.has("SP911")
+        assert "_CACHE" in str(report.errors[0])
+
+    def test_initializer_style_mutators_are_sanctioned(self, tmp_path):
+        write_tree(tmp_path, {
+            "engine/state.py": """
+                _CACHE = None
+                _LOADED = False
+
+                def _init_worker_context(cache):
+                    global _CACHE
+                    _CACHE = cache
+
+                def _ensure_builtin():
+                    global _LOADED
+                    _LOADED = True
+
+                def install_hooks():
+                    global _CACHE
+                    _CACHE = {}
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP911")
+
+    def test_sp911_out_of_scope_outside_service_arc(self, tmp_path):
+        write_tree(tmp_path, {
+            "formats/reader.py": """
+                _STATE = None
+
+                def set_state(x):
+                    global _STATE
+                    _STATE = x
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP911")
+
+
+class TestAtomicWrites:
+    def test_sp912_bare_write_text(self, tmp_path):
+        write_tree(tmp_path, {
+            "engine/cache.py": """
+                def put(path, payload):
+                    path.write_text(payload)
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP912")
+
+    def test_sp912_json_dump_to_w_handle(self, tmp_path):
+        write_tree(tmp_path, {
+            "resilience/manifest.py": """
+                import json
+
+                def save(path, doc):
+                    with open(path, "w") as fh:
+                        json.dump(doc, fh)
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP912")
+
+    def test_tmp_rename_protocol_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "engine/cache.py": """
+                import os
+
+                def put(path, payload):
+                    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+                    tmp.write_text(payload)
+                    tmp.replace(path)
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP912")
+
+    def test_read_only_open_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "engine/cache.py": """
+                import json
+
+                def get(path):
+                    with open(path, "r") as fh:
+                        return json.load(fh)
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP912")
+
+    def test_fault_injector_is_exempt(self, tmp_path):
+        write_tree(tmp_path, {
+            "resilience/faults.py": """
+                def corrupt(path):
+                    path.write_text("garbage")
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP912")
+
+
+class TestBlockingWaits:
+    def test_sp913_time_sleep_poll(self, tmp_path):
+        write_tree(tmp_path, {
+            "resilience/supervisor.py": """
+                import time
+
+                def wait_for(flag):
+                    while not flag():
+                        time.sleep(0.1)
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP913")
+
+    def test_sp913_unbounded_future_result(self, tmp_path):
+        write_tree(tmp_path, {
+            "engine/parallel.py": """
+                def drain(futures):
+                    return [f.result() for f in futures]
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP913")
+
+    def test_timeout_result_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "engine/parallel.py": """
+                def drain(futures, timeout_s):
+                    return [f.result(timeout=timeout_s) for f in futures]
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP913")
+
+    def test_sleep_outside_supervisor_scope_is_allowed(self, tmp_path):
+        # (SP913's scope is supervisors; SP904 separately owns clocks.)
+        write_tree(tmp_path, {
+            "experiments/demo.py": """
+                import time
+
+                def pause():
+                    time.sleep(1)
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP913")
+
+
+class TestPassFramework:
+    def test_passes_subset_restricts_rules(self, tmp_path):
+        from repro.analysis.selfcheck import PASSES
+
+        write_tree(tmp_path, {
+            "engine/bad.py": """
+                import scipy
+
+                def set_cache(cache):
+                    global _CACHE
+                    _CACHE = cache
+            """,
+        })
+        sp901 = [p for p in PASSES if p.code == "SP901"]
+        report = selfcheck(tmp_path, passes=sp901)
+        assert report.has("SP901")
+        assert not report.has("SP911")  # SP911 pass not run
+
+    def test_applies_honors_include_exclude(self):
+        from repro.analysis.selfcheck import PASSES
+
+        by_code = {p.code: p for p in PASSES}
+        assert by_code["SP905"].applies("arch/fastpath.py")
+        assert not by_code["SP905"].applies("arch/simulator.py")
+        assert by_code["SP912"].applies("resilience/cachemon.py")
+        assert not by_code["SP912"].applies("resilience/faults.py")
+        assert by_code["SP904"].applies("resilience/faults.py")
+        assert not by_code["SP911"].applies("arch/simulator.py")
+        assert not by_code["SP902"].applies("baselines/__init__.py")
+
+    def test_every_pass_code_is_registered(self):
+        from repro.analysis.diagnostics import CODES
+        from repro.analysis.selfcheck import PASSES
+
+        for p in PASSES:
+            assert p.code in CODES, p.code
+
+
+class TestRegistryDuplicates:
+    def test_register_code_rejects_duplicates(self):
+        from repro.analysis.diagnostics import CODES, CodeSpec, register_code
+        from repro.errors import Severity
+
+        spec = CODES["SP901"]
+        dup = CodeSpec("SP901", "impostor", Severity.WARNING, "nope")
+        with pytest.raises(ValueError, match="duplicate diagnostic code"):
+            register_code(dup)
+        # The original registration is untouched.
+        assert CODES["SP901"] is spec
+
+    def test_register_code_accepts_fresh_code(self):
+        from repro.analysis.diagnostics import CODES, CodeSpec, register_code
+        from repro.errors import Severity
+
+        fresh = CodeSpec("SP999", "test-only", Severity.WARNING, "scratch")
+        try:
+            assert register_code(fresh) is fresh
+            assert CODES["SP999"] is fresh
+        finally:
+            CODES.pop("SP999", None)
