@@ -7,8 +7,11 @@ and speedups plus the time-weighted aggregate. While timing, every
 point is also checked for exact result equality, so the benchmark
 doubles as one more differential run.
 
-The default points cover all four paper semirings and span the suite
-from the smallest matrix to the buffer-pressure cases; under the CI
+The full sweep is the complete (11 workloads x 9 matrices) grid —
+every paper semiring and, deliberately, the lagging ``kpp``/``sssp``
+points on every matrix, so the recorded aggregate is honest about the
+slowest semirings rather than cherry-picking the vector-friendly ones
+(docs/performance.md discusses the per-semiring spread). Under the CI
 smoke subset (``REPRO_BENCH_WORKLOADS``/``REPRO_BENCH_MATRICES``) the
 points collapse to that cross product and the headline speedup claim
 is not asserted (a subset's aggregate is meaningless).
@@ -28,21 +31,9 @@ from repro.matrices.suite import SUITE
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
 
-#: Full-sweep measurement points: every paper semiring, matrices from
-#: the smallest (gy) to the large buffer-pressure members.
-DEFAULT_POINTS = (
-    ("pr", "gy"),     # mul_add, smallest suite matrix
-    ("kpp", "gy"),    # aril_add
-    ("pr", "eu"),     # mul_add, large
-    ("cg", "eu"),     # mul_add, solver-style iteration structure
-    ("sssp", "wi"),   # min_add, skewed power-law web
-    ("bfs", "ad"),    # and_or, adaptive mesh
-)
-
-
 def _points(context):
-    if is_full_sweep():
-        return DEFAULT_POINTS
+    """The full (workload x matrix) grid — all 11 workloads on all 9
+    suite matrices on a full sweep, the env subset otherwise."""
     return tuple(
         (w, m) for w in context.all_workloads() for m in context.all_matrices()
     )
@@ -103,6 +94,8 @@ def test_backend_speedup(benchmark, context):
     )
     assert doc["aggregate_speedup"] > 1.0
     if is_full_sweep():
-        # The tentpole claim: the vectorized backend replaces the
-        # per-step Python loop with numpy array passes at >= 5x.
-        assert doc["aggregate_speedup"] >= 5.0
+        # The honest full-grid claim: ~5.1x measured time-weighted over
+        # all 99 points (including the comparison-heavy semirings that
+        # only gain 1.5-3x), asserted at 4x to leave room for timer
+        # noise — docs/performance.md has the per-semiring spread.
+        assert doc["aggregate_speedup"] >= 4.0

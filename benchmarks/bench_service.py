@@ -1,0 +1,118 @@
+"""Service smoke bench: submit-to-result latency, cold vs warm.
+
+Boots an in-process :class:`~repro.service.queue.JobQueue` (no TCP —
+this times the service machinery, not the socket) and records, into
+``BENCH_service.json`` at the repository root:
+
+- **cold** — per-point submit→result latency against an empty store
+  (full simulation behind every answer);
+- **warm** — the same points against the store the cold pass
+  populated, served by a fresh queue from disk (and the second
+  same-point hit from memory);
+- **coalesced** — N identical concurrent submissions, total wall time
+  for all N answers (one simulation fanned out).
+
+The recorded claim is deliberately loose — warm serving must beat cold
+simulation in aggregate — because per-point latencies at this scale
+are microbenchmark-noisy; the JSON keeps the raw numbers for eyeballs
+and trend tracking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import ExperimentContext
+from repro.service import JobQueue
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Small, semiring-diverse point set: latency is per point, so the
+#: bench does not need the full grid.
+POINTS = (
+    ("sparsepipe", "pr", "gy"),
+    ("ideal", "pr", "gy"),
+    ("sparsepipe", "kcore", "gy"),
+    ("cpu", "bfs", "gy"),
+)
+
+#: Identical concurrent submissions for the coalescing measurement.
+N_COALESCED = 8
+
+
+async def _timed_round(queue: JobQueue, points) -> list:
+    """Submit each point and await its result; per-point seconds."""
+    latencies = []
+    for point in points:
+        start = time.perf_counter()
+        job = await queue.result(await queue.submit(point), timeout=600)
+        latencies.append(time.perf_counter() - start)
+        assert job.status == "done", job.error
+    return latencies
+
+
+async def _measure(cache_dir: Path) -> dict:
+    # Cold: empty store, every answer is a fresh simulation.
+    cold_ctx = ExperimentContext(cache_dir=cache_dir)
+    queue = JobQueue(context=cold_ctx)
+    await queue.start()
+    cold = await _timed_round(queue, POINTS)
+    await queue.close()
+
+    # Warm: a *fresh* queue over the now-populated store — answers
+    # come from the sharded disk cache, not from process memory.
+    warm_ctx = ExperimentContext(cache_dir=cache_dir)
+    queue = JobQueue(context=warm_ctx)
+    await queue.start()
+    warm = await _timed_round(queue, POINTS)
+    assert warm_ctx.metrics.value("sim.runs") == 0  # nothing re-simulated
+    # Hot: the same queue again — the in-memory fast path.
+    hot = await _timed_round(queue, POINTS)
+    await queue.close()
+
+    # Coalesced: N identical submissions in flight at once; one
+    # simulation serves all N.
+    co_ctx = ExperimentContext()
+    queue = JobQueue(context=co_ctx)
+    await queue.start()
+    start = time.perf_counter()
+    job_ids = [await queue.submit(POINTS[0]) for _ in range(N_COALESCED)]
+    for job_id in job_ids:
+        await queue.result(job_id, timeout=600)
+    coalesced_total = time.perf_counter() - start
+    assert co_ctx.metrics.value("sim.runs") == 1
+    await queue.close()
+
+    return {
+        "points": [list(p) for p in POINTS],
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "hot_seconds": hot,
+        "cold_total_seconds": sum(cold),
+        "warm_total_seconds": sum(warm),
+        "hot_total_seconds": sum(hot),
+        "coalesced_submissions": N_COALESCED,
+        "coalesced_total_seconds": coalesced_total,
+    }
+
+
+def test_service_latency(benchmark, tmp_path):
+    doc = run_once(
+        benchmark, lambda: asyncio.run(_measure(tmp_path / "cache"))
+    )
+    doc["warm_speedup"] = doc["cold_total_seconds"] / doc["warm_total_seconds"]
+    OUTPUT.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(
+        f"service latency: cold {doc['cold_total_seconds'] * 1e3:.1f} ms, "
+        f"warm {doc['warm_total_seconds'] * 1e3:.1f} ms "
+        f"({doc['warm_speedup']:.1f}x), "
+        f"hot {doc['hot_total_seconds'] * 1e3:.1f} ms, "
+        f"{N_COALESCED} coalesced in "
+        f"{doc['coalesced_total_seconds'] * 1e3:.1f} ms -> {OUTPUT.name}"
+    )
+    # The loose claim: a warm store must beat cold simulation overall.
+    assert doc["warm_total_seconds"] < doc["cold_total_seconds"]

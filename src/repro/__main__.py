@@ -13,6 +13,10 @@ Commands
   bounds and OEI legality cross-checked against the simulator
 - ``trace <workload> -o t.json``— export a Chrome/Perfetto trace plus
   run manifest of one simulated run (load in https://ui.perfetto.dev)
+- ``serve``                     — simulation-service daemon: async job
+  queue with request coalescing over the shared result store
+- ``client <op> [...]``         — talk to a running daemon (submit /
+  status / result / cancel / stats / shutdown); see docs/service.md
 
 ``lint``/``selfcheck`` take ``--format text|json`` and ``--baseline
 FILE`` (a per-code finding budget; exceeding it fails the command even
@@ -44,6 +48,7 @@ _EXPERIMENTS = (
 def _make_context(args: argparse.Namespace) -> ExperimentContext:
     return ExperimentContext(
         cache_dir=getattr(args, "cache", None),
+        cache_max_bytes=getattr(args, "cache_bytes", None),
         max_workers=getattr(args, "jobs", None),
         on_error=getattr(args, "on_error", "raise") or "raise",
     )
@@ -289,6 +294,86 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.daemon import run_daemon
+
+    def announce(daemon) -> None:
+        # The readiness line CI (and scripts) wait for; flushed so a
+        # piped supervisor sees it immediately.
+        print(f"repro-service listening on {daemon.host}:{daemon.port}",
+              flush=True)
+        if daemon.endpoint_file:
+            print(f"endpoint advertised in {daemon.endpoint_file}",
+                  flush=True)
+
+    try:
+        asyncio.run(run_daemon(
+            context=_make_context(args),
+            spool_dir=args.spool,
+            host=args.host,
+            port=args.port,
+            endpoint_file=args.endpoint_file,
+            sim_workers=args.jobs,
+            on_error=args.on_error if args.on_error != "raise" else "retry",
+            announce=announce,
+        ))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient, endpoint_from_file
+
+    host, port = args.host, args.port
+    if args.endpoint_file:
+        host, port = endpoint_from_file(args.endpoint_file)
+    client = ServiceClient(host=host, port=port, timeout_s=args.timeout)
+
+    def show(doc) -> None:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+
+    try:
+        op = args.client_op
+        if op == "submit":
+            job_ids = [
+                client.submit(point.split("/"), priority=args.priority)
+                for point in args.points
+            ]
+            for job_id in job_ids:
+                print(job_id)
+            if args.wait:
+                failed = 0
+                for doc in client.wait_all(job_ids, timeout_s=args.timeout):
+                    failed += doc["status"] != "done"
+                    show(doc if args.full else
+                         {k: v for k, v in doc.items() if k != "result"})
+                return 1 if failed else 0
+        elif op == "status":
+            show(client.status(args.job_id))
+        elif op == "result":
+            doc = client.result(args.job_id, timeout_s=args.timeout)
+            show(doc if args.full else
+                 {k: v for k, v in doc.items() if k != "result"})
+            return 0 if doc["status"] == "done" else 1
+        elif op == "cancel":
+            cancelled = client.cancel(args.job_id)
+            print("cancelled" if cancelled else "not cancellable")
+            return 0 if cancelled else 1
+        elif op == "stats":
+            show(client.stats())
+        elif op == "shutdown":
+            client.shutdown()
+            print("daemon stopping")
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.experiments import summary
 
@@ -322,6 +407,12 @@ def _add_context_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache", default=None, metavar="DIR",
         help="persist simulation results under DIR (e.g. .repro_cache)",
+    )
+    parser.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="N",
+        dest="cache_bytes",
+        help="byte budget for the on-disk result store; least-recently"
+             "-used entries are evicted past it (default: unbounded)",
     )
     parser.add_argument(
         "--on-error", choices=("raise", "skip", "retry"), default="raise",
@@ -407,6 +498,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--seed", type=int, default=0,
                       help="seed recorded in the run manifest")
 
+    p_srv = sub.add_parser(
+        "serve", help="simulation-service daemon (docs/service.md)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port; 0 picks a free one (default: 0)")
+    p_srv.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help="journal jobs under DIR for crash recovery; a restarted "
+             "daemon re-enqueues whatever never finished",
+    )
+    p_srv.add_argument(
+        "--endpoint-file", default=None, metavar="FILE",
+        dest="endpoint_file",
+        help="advertise the bound host/port in FILE (how scripts "
+             "discover a --port 0 daemon)",
+    )
+    _add_context_flags(p_srv)
+
+    p_cl = sub.add_parser(
+        "client", help="talk to a running simulation-service daemon"
+    )
+    p_cl.add_argument("--host", default="127.0.0.1")
+    p_cl.add_argument("--port", type=int, default=0)
+    p_cl.add_argument(
+        "--endpoint-file", default=None, metavar="FILE",
+        dest="endpoint_file",
+        help="read host/port from a daemon's --endpoint-file",
+    )
+    p_cl.add_argument("--timeout", type=float, default=300.0,
+                      help="per-request budget in seconds (default: 300)")
+    cl_sub = p_cl.add_subparsers(dest="client_op", required=True)
+    p_cs = cl_sub.add_parser("submit", help="submit arch/workload/matrix points")
+    p_cs.add_argument("points", nargs="+", metavar="ARCH/WORKLOAD/MATRIX",
+                      help="e.g. sparsepipe/pr/gy")
+    p_cs.add_argument("--priority", type=int, default=0)
+    p_cs.add_argument("--wait", action="store_true",
+                      help="block until every job is terminal")
+    p_cs.add_argument("--full", action="store_true",
+                      help="with --wait, include result payloads")
+    for op, needs_id in (("status", True), ("result", True),
+                         ("cancel", True), ("stats", False),
+                         ("shutdown", False)):
+        p_op = cl_sub.add_parser(op)
+        if needs_id:
+            p_op.add_argument("job_id")
+        if op == "result":
+            p_op.add_argument("--full", action="store_true",
+                              help="include the result payload")
+
     p_sum = sub.add_parser(
         "summary", help="all Section VI headline claims, paper vs measured"
     )
@@ -430,6 +572,8 @@ def main(argv: List[str] = None) -> int:
         "selfcheck": _cmd_selfcheck,
         "check": _cmd_check,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
         "summary": _cmd_summary,
         "export": _cmd_export,
     }

@@ -75,7 +75,7 @@ REFERENCE_BACKEND = "arch/simulator.py"
 
 #: Packages whose module-global state ends up captured in pool workers
 #: (SP911) and whose files are read concurrently (SP912).
-SERVICE_ARC_PACKAGES = ("engine", "resilience", "experiments")
+SERVICE_ARC_PACKAGES = ("engine", "resilience", "experiments", "service")
 
 #: Function-name markers that identify sanctioned global mutators:
 #: pool initializers (``_init_worker_context``), arming/disarming hooks
@@ -84,7 +84,7 @@ SERVICE_ARC_PACKAGES = ("engine", "resilience", "experiments")
 INITIALIZER_MARKERS = ("init", "worker", "install", "ensure", "boot")
 
 #: Supervisor-side modules that must never block unboundedly (SP913).
-SUPERVISOR_PATHS = ("resilience/", "engine/parallel.py")
+SUPERVISOR_PATHS = ("resilience/", "engine/parallel.py", "service/")
 
 #: Calls that introduce nondeterminism when they appear in a hot path.
 _CLOCK_CALLS = {
@@ -421,7 +421,7 @@ PASSES: Tuple[SelfCheckPass, ...] = (
     SelfCheckPass("SP911", "pool-captured-global", _check_pool_globals,
                   include=tuple(f"{p}/" for p in SERVICE_ARC_PACKAGES)),
     SelfCheckPass("SP912", "non-atomic-cache-write", _check_atomic_writes,
-                  include=("engine/", "resilience/"),
+                  include=("engine/", "resilience/", "service/"),
                   exclude=("resilience/faults.py",)),
     SelfCheckPass("SP913", "blocking-supervisor-wait", _check_blocking_waits,
                   include=SUPERVISOR_PATHS),

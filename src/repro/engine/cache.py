@@ -1,30 +1,52 @@
-"""Persistent on-disk result cache.
+"""Persistent on-disk result cache: sharded, bounded, concurrency-safe.
 
 Repeated figure/benchmark runs re-simulate the identical 495-point
 cross product; this cache makes warm reruns near-free. One JSON file
-per simulated point under a cache root (``.repro_cache/`` by
-convention), content-addressed by
+per simulated point, content-addressed by
 
 ``(code_version, arch, workload, matrix, config_key, reorder, block_size)``
 
 where ``config_key`` is :meth:`SparsepipeConfig.cache_key` (a frozen
 content hash, never ``id()``) and ``code_version`` is this module's
 :data:`CODE_VERSION` — bump it whenever simulator semantics change and
-every stale entry misses. Each file stores its full key alongside the
-serialized :class:`~repro.arch.stats.SimResult`, so hash collisions
-and hand-edited files degrade to a miss, never a wrong result — and the
-offending file is **quarantined** (moved under ``quarantine/`` with an
-``SP604`` diagnostic in :attr:`ResultCache.diagnostics`), so a corrupt
-entry can never be silently re-missed forever: the next ``put``
-re-populates the slot. Entries
-may also carry a :class:`~repro.obs.manifest.RunManifest` recording
-the producing run's provenance; :meth:`ResultCache.get_entry` returns
-it marked ``from_cache=True`` so served and fresh results stay
-distinguishable. Writes
-go through a per-process, per-write temp file (pid plus a process-wide
-counter, so concurrent threads of one process cannot tear each
-other's temp) and an atomic rename, so concurrent writers (e.g.
-``simulate_many`` fan-out parents) cannot tear entries;
+every stale entry misses.
+
+The store is the service arc's shared substrate (``repro.service``
+fans every client out onto one warm store), so it is built for
+concurrent access:
+
+- **Sharding** — entries live under ``shard-NN/`` directories chosen
+  by the key digest's prefix (:data:`DEFAULT_SHARDS` shards by
+  default), each protected by its own in-process lock, so concurrent
+  readers/writers on different shards never contend. Cross-process
+  writers are safe regardless: every write goes through a per-process,
+  per-write temp file (pid plus a process-wide counter) and an atomic
+  rename, so a concurrent reader can never observe a torn entry.
+- **Byte budget with LRU eviction** — ``max_bytes`` bounds the live
+  entry bytes across all shards. Recency is stamped into each entry's
+  mtime from a store-wide logical clock (monotone integers seeded
+  above everything already on disk — never the wall clock: the engine
+  package is a deterministic hot path), so least-recently-*used* order
+  survives process restarts and is shared between processes. When a
+  put pushes the store over budget, entries are unlinked oldest-first
+  until the invariant ``live bytes <= max_bytes`` holds again.
+- **Metrics** — pass a :class:`~repro.obs.metrics.MetricsRegistry` and
+  the store reports ``cache.hits`` / ``cache.misses`` counters,
+  ``cache.evicted`` / ``cache.evicted_bytes`` eviction counters, and a
+  ``cache.bytes`` gauge (live bytes after the last budget sweep); see
+  docs/observability.md.
+
+Each entry stores its full key alongside the serialized
+:class:`~repro.arch.stats.SimResult`, so hash collisions and
+hand-edited files degrade to a miss, never a wrong result — and the
+offending file is **quarantined** per shard (moved under the shard's
+``quarantine/`` with an ``SP604`` diagnostic in
+:attr:`ResultCache.diagnostics`), so a corrupt entry can never be
+silently re-missed forever: the next ``put`` re-populates the slot.
+Entries may also carry a :class:`~repro.obs.manifest.RunManifest`
+recording the producing run's provenance;
+:meth:`ResultCache.get_entry` returns it marked ``from_cache=True`` so
+served and fresh results stay distinguishable.
 :meth:`ResultCache.clear` also sweeps the ``*.tmp`` debris a crashed
 writer may have left behind.
 """
@@ -35,12 +57,13 @@ import hashlib
 import itertools
 import json
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.arch.stats import SimResult
-from repro.errors import Diagnostic
+from repro.errors import ConfigError, Diagnostic
 from repro.obs.manifest import RunManifest
 from repro.resilience.faults import maybe_corrupt_file
 
@@ -50,6 +73,11 @@ _TMP_COUNTER = itertools.count()
 #: Bump whenever a change to the simulators alters results — every
 #: cache entry written under another version becomes a miss.
 CODE_VERSION = "1"
+
+#: Default shard count: 16 shards keep per-shard lock contention
+#: negligible for the worker fleets the service runs while staying a
+#: trivial number of directories to scan.
+DEFAULT_SHARDS = 16
 
 
 @dataclass(frozen=True)
@@ -61,15 +89,32 @@ class CacheEntry:
 
 
 class ResultCache:
-    """Directory of per-point SimResult JSON documents."""
+    """Sharded directory of per-point SimResult JSON documents."""
 
     def __init__(
         self,
         root: Union[str, Path],
         code_version: Optional[str] = None,
+        shards: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        metrics=None,
     ) -> None:
         self.root = Path(root)
+        self.n_shards = DEFAULT_SHARDS if shards is None else int(shards)
+        if self.n_shards < 1:
+            raise ConfigError(
+                f"ResultCache needs at least one shard, got {shards!r}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ConfigError(
+                f"ResultCache max_bytes must be positive, got {max_bytes!r}")
+        self.max_bytes = max_bytes
+        #: Optional MetricsRegistry the store reports through
+        #: (``cache.hits`` / ``cache.misses`` / ``cache.evicted`` /
+        #: ``cache.evicted_bytes`` / ``cache.bytes``).
+        self.metrics = metrics
         self.root.mkdir(parents=True, exist_ok=True)
+        for index in range(self.n_shards):
+            self.shard_dir(index).mkdir(parents=True, exist_ok=True)
         # Resolved at construction so tests can monkeypatch CODE_VERSION.
         self.code_version = str(
             CODE_VERSION if code_version is None else code_version
@@ -78,29 +123,93 @@ class ResultCache:
         #: :meth:`pop_diagnostics` (consumers: ExperimentContext
         #: metrics / run manifests).
         self.diagnostics: List[Diagnostic] = []
+        self._diag_lock = threading.Lock()
+        #: One lock per shard: in-process readers/writers of different
+        #: shards never contend; same-shard operations serialize.
+        self._shard_locks = tuple(
+            threading.RLock() for _ in range(self.n_shards)
+        )
+        #: Serializes budget sweeps (which may touch every shard).
+        #: Lock order is always evict-lock -> shard-lock; entry
+        #: operations take only their shard lock, so no cycle exists.
+        self._evict_lock = threading.Lock()
+        #: Store-wide logical recency clock. Seeded above every mtime
+        #: already on disk so a restarted process keeps appending to
+        #: the same total order; per-process monotone thereafter.
+        self._recency = itertools.count(self._initial_stamp())
 
-    @property
-    def quarantine_dir(self) -> Path:
-        return self.root / "quarantine"
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def shard_dir(self, index: int) -> Path:
+        return self.root / f"shard-{index:02d}"
 
-    def _quarantine(self, path: Path, reason: str) -> None:
-        """Move a corrupt entry out of the live cache so it misses
-        exactly once, and record why."""
-        dest = self.quarantine_dir / path.name
+    def shard_dirs(self) -> List[Path]:
+        return [self.shard_dir(i) for i in range(self.n_shards)]
+
+    def quarantine_dirs(self) -> List[Path]:
+        """Per-shard quarantine directories (existing ones only)."""
+        dirs = [d / "quarantine" for d in self.shard_dirs()]
+        return [d for d in dirs if d.is_dir()]
+
+    def quarantine_paths(self) -> List[Path]:
+        """Every quarantined entry file, across all shards."""
+        return sorted(
+            path for d in self.quarantine_dirs() for path in d.glob("*.json")
+        )
+
+    def _entries(self) -> Iterator[Path]:
+        """Live entry files (excludes quarantine and tmp debris)."""
+        for shard in self.shard_dirs():
+            yield from shard.glob("*.json")
+
+    def _initial_stamp(self) -> int:
+        """First logical recency stamp: one past everything on disk."""
+        newest = 0
+        for path in self.root.rglob("*.json"):
+            try:
+                newest = max(newest, path.stat().st_mtime_ns)
+            except OSError:
+                continue
+        return newest + 1
+
+    def _touch(self, path: Path) -> None:
+        """Stamp ``path`` as most-recently-used (logical clock, not
+        wall clock — eviction order is deterministic and replayable)."""
+        stamp = next(self._recency)
         try:
-            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.utime(path, ns=(stamp, stamp))
+        except OSError:
+            pass  # racing eviction/quarantine; recency is best-effort
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry out of its shard so it misses exactly
+        once, and record why. Called with the shard lock held."""
+        dest_dir = path.parent / "quarantine"
+        dest = dest_dir / path.name
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
             path.replace(dest)
         except OSError:
             return  # racing reader already moved it; either outcome is a miss
-        self.diagnostics.append(Diagnostic.warning(
-            "SP604", f"corrupt cache entry ({reason}) quarantined",
-            str(dest),
-        ))
+        with self._diag_lock:
+            self.diagnostics.append(Diagnostic.warning(
+                "SP604", f"corrupt cache entry ({reason}) quarantined",
+                str(dest),
+            ))
 
     def pop_diagnostics(self) -> List[Diagnostic]:
         """Quarantine diagnostics accumulated so far (cleared on read)."""
-        out = list(self.diagnostics)
-        self.diagnostics.clear()
+        with self._diag_lock:
+            out = list(self.diagnostics)
+            self.diagnostics.clear()
         return out
 
     # ------------------------------------------------------------------
@@ -119,8 +228,11 @@ class ResultCache:
             ]
         )
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]
-        path = self.root / f"{arch}-{workload}-{matrix}-{digest}.json"
-        return path, key
+        shard = int(digest[:8], 16) % self.n_shards
+        path = self.shard_dir(shard) / (
+            f"{arch}-{workload}-{matrix}-{digest}.json"
+        )
+        return path, key, self._shard_locks[shard]
 
     # ------------------------------------------------------------------
     # Access
@@ -141,9 +253,20 @@ class ResultCache:
         returned marked ``from_cache=True`` (``None`` for entries
         written before manifests existed, or by manifest-less callers).
         """
-        path, key = self._entry(
+        path, key, lock = self._entry(
             arch, workload, matrix, config_key, reorder, block_size
         )
+        with lock:
+            entry = self._read_entry(path, key)
+        if entry is None:
+            self._count("cache.misses")
+        else:
+            self._count("cache.hits")
+        return entry
+
+    def _read_entry(self, path: Path, key: str) -> Optional["CacheEntry"]:
+        """One locked probe: read, validate, quarantine on corruption,
+        stamp recency on a hit."""
         maybe_corrupt_file("cache.get", path.name, path)
         try:
             text = path.read_text()
@@ -173,14 +296,19 @@ class ResultCache:
                 ).served_from_cache()
             except (KeyError, TypeError, ValueError):
                 manifest = None  # auditing data is best-effort
+        self._touch(path)
         return CacheEntry(result=result, manifest=manifest)
 
     def put(
         self, arch, workload, matrix, config_key, reorder, block_size,
         result: SimResult, manifest: Optional[RunManifest] = None,
     ) -> Path:
-        """Store one result; atomic against concurrent readers/writers."""
-        path, key = self._entry(
+        """Store one result; atomic against concurrent readers/writers.
+
+        When a byte budget is configured, the put is followed by an
+        LRU sweep restoring ``live bytes <= max_bytes``.
+        """
+        path, key, lock = self._entry(
             arch, workload, matrix, config_key, reorder, block_size
         )
         doc = {
@@ -188,30 +316,95 @@ class ResultCache:
             "result": result.to_dict(),
             "manifest": None if manifest is None else manifest.to_dict(),
         }
-        tmp = path.with_name(
-            f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
-        )
-        tmp.write_text(json.dumps(doc, sort_keys=True))
-        tmp.replace(path)
+        text = json.dumps(doc, sort_keys=True)
+        with lock:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(
+                f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+            )
+            tmp.write_text(text)
+            tmp.replace(path)
+            self._touch(path)
+        self._enforce_budget()
         return path
+
+    # ------------------------------------------------------------------
+    # Budget / eviction
+    # ------------------------------------------------------------------
+    def live_bytes(self) -> int:
+        """Total bytes of live entries (authoritative: from disk, so
+        it also sees entries written by other processes)."""
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _enforce_budget(self) -> None:
+        """Evict least-recently-used entries until the live bytes fit
+        the budget again. Scans the disk (not in-memory bookkeeping)
+        so concurrent writer *processes* cannot overshoot the budget
+        between each other's sweeps."""
+        if self.max_bytes is None:
+            return
+        with self._evict_lock:
+            entries: List[Tuple[int, str, int, Path, int]] = []
+            total = 0
+            for index in range(self.n_shards):
+                with self._shard_locks[index]:
+                    for path in self.shard_dir(index).glob("*.json"):
+                        try:
+                            st = path.stat()
+                        except OSError:
+                            continue
+                        entries.append(
+                            (st.st_mtime_ns, path.name, index, path,
+                             st.st_size)
+                        )
+                        total += st.st_size
+            evicted = 0
+            evicted_bytes = 0
+            if total > self.max_bytes:
+                entries.sort(key=lambda e: (e[0], e[1]))
+                for _stamp, _name, index, path, size in entries:
+                    if total <= self.max_bytes:
+                        break
+                    with self._shard_locks[index]:
+                        try:
+                            path.unlink()
+                        except OSError:
+                            continue  # racing eviction already took it
+                    total -= size
+                    evicted += 1
+                    evicted_bytes += size
+            if evicted:
+                self._count("cache.evicted", evicted)
+                self._count("cache.evicted_bytes", evicted_bytes)
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "cache.bytes", "live result-store bytes"
+                ).set(total)
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> int:
-        """Delete every entry (plus any ``*.tmp`` debris crashed
-        writers left behind); returns the number of entries removed."""
+        """Delete every live entry (plus any ``*.tmp`` debris crashed
+        writers left behind, in any shard); returns the number of
+        entries removed. Quarantined corpses are kept for auditing."""
         n = 0
-        for path in self.root.glob("*.json"):
+        for path in list(self._entries()) + list(self.root.glob("*.json")):
             try:
                 path.unlink()
                 n += 1
             except OSError:
                 pass
-        for tmp in self.root.glob("*.tmp"):
+        for tmp in self.root.rglob("*.tmp"):
             try:
                 tmp.unlink()
             except OSError:

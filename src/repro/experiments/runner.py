@@ -96,6 +96,11 @@ class ExperimentContext:
     workloads: Optional[Tuple[str, ...]] = None
     matrices: Optional[Tuple[str, ...]] = None
     cache_dir: Optional[Union[str, Path]] = None
+    #: Byte budget of the on-disk store (None = unbounded); the store
+    #: LRU-evicts past it and reports ``cache.evicted`` metrics.
+    cache_max_bytes: Optional[int] = None
+    #: Shard count of the on-disk store (None = the store's default).
+    cache_shards: Optional[int] = None
     max_workers: Optional[int] = None
     on_error: str = "raise"
     retries: int = DEFAULT_RETRIES
@@ -111,13 +116,19 @@ class ExperimentContext:
         self._graphblas: Dict[str, Matrix] = {}
         self._profiles: Dict[Tuple[str, str], WorkloadProfile] = {}
         self._results: Dict[Tuple, SimResult] = {}
-        self._disk: Optional[ResultCache] = (
-            ResultCache(self.cache_dir) if self.cache_dir else None
-        )
         #: Sweep-wide metrics: every fresh simulation reports through
         #: the one-schema registry (cycles, DRAM bytes by category,
         #: buffer peaks, ...), plus cache hit/miss counters.
         self.metrics = MetricsRegistry()
+        self._disk: Optional[ResultCache] = (
+            ResultCache(
+                self.cache_dir,
+                shards=self.cache_shards,
+                max_bytes=self.cache_max_bytes,
+                metrics=self.metrics,
+            )
+            if self.cache_dir else None
+        )
         #: Run manifests by result key — provenance for every result
         #: this context has produced or served (``from_cache`` marks
         #: disk-cache hits).
@@ -203,6 +214,30 @@ class ExperimentContext:
             arch, workload_name, matrix_name,
             cfg.cache_key(), reorder, block_size,
         )
+
+    def point_key(
+        self,
+        point: Point,
+        config: Optional[SparsepipeConfig] = None,
+        reorder: Optional[str] = "default",
+        block_size: object = "default",
+    ) -> Tuple:
+        """Public content key for one ``(arch, workload, matrix)``
+        point under this context's configuration — the coalescing key
+        of the service layer (:mod:`repro.service`): two submissions
+        with equal keys are the same simulation."""
+        cfg = config or self.config
+        reorder, block_size = self._resolve(reorder, block_size)
+        arch, workload, matrix = point
+        return self._result_key(arch, workload, matrix, cfg, reorder, block_size)
+
+    def result_for(self, key: Tuple) -> Optional[SimResult]:
+        """Result already held in the in-memory layer for one
+        :meth:`point_key`, ``None`` when the point has not been
+        simulated (or cache-served) by this context yet. Never touches
+        disk — the service layer uses this as its zero-cost fast path
+        and for fanning a finished batch out to coalesced waiters."""
+        return self._results.get(key)
 
     def _resolve(self, reorder, block_size):
         if reorder == "default":

@@ -69,6 +69,11 @@ class RunManifest:
     git_rev: Optional[str] = None
     wall_time_s: Optional[float] = None
     from_cache: bool = False
+    #: True when this result was served by coalescing the request onto
+    #: another identical in-flight submission (:mod:`repro.service`) —
+    #: the simulation ran once and fanned out to every waiter. Like
+    #: ``from_cache``, serving provenance, not run identity.
+    coalesced: bool = False
     #: How the point got its result: ``"ok"`` (clean first attempt),
     #: ``"retried"`` (succeeded after SP601/SP602 degradation), or
     #: ``"failed"`` (exhausted its attempts; no result exists and
@@ -85,7 +90,7 @@ class RunManifest:
     #: noise and serving/failure provenance, not run identity — a
     #: sweep that survived a worker death must digest identically to
     #: an undisturbed one.
-    _UNSTABLE = ("wall_time_s", "from_cache", "status", "faults")
+    _UNSTABLE = ("wall_time_s", "from_cache", "coalesced", "status", "faults")
 
     def stable_dict(self) -> Dict[str, object]:
         """Every identity-bearing field, JSON-plain."""
@@ -115,6 +120,11 @@ class RunManifest:
     def served_from_cache(self) -> "RunManifest":
         """This manifest, marked as a cache hit (digest unchanged)."""
         return replace(self, from_cache=True)
+
+    def served_coalesced(self) -> "RunManifest":
+        """This manifest, marked as served by request coalescing
+        (digest unchanged)."""
+        return replace(self, coalesced=True)
 
 
 def build_manifest(

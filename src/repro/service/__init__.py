@@ -1,0 +1,57 @@
+"""Simulation-as-a-service: async job queue, coalescing, daemon.
+
+The service layer turns the one-shot
+:class:`~repro.experiments.runner.ExperimentContext` into a long-lived
+facility: many clients submit ``(arch, workload, matrix)`` points to
+one daemon, which coalesces identical in-flight requests onto a single
+simulation, serves warm results from the sharded LRU-bounded
+:class:`~repro.engine.cache.ResultCache`, executes fresh work through
+the supervised process fleet, and journals every job to a spool
+directory so a crashed daemon recovers its backlog on restart.
+
+Layers (``docs/service.md`` has the full tour):
+
+- :mod:`repro.service.jobs` — job records, lifecycle states, the spool
+- :mod:`repro.service.queue` — :class:`JobQueue`: priorities,
+  coalescing, batch dispatch, crash recovery
+- :mod:`repro.service.daemon` — the TCP daemon (``python -m repro
+  serve``) and the in-thread :class:`BackgroundDaemon` harness
+- :mod:`repro.service.client` — the blocking stdlib-only client
+  (``python -m repro client ...``)
+"""
+
+from repro.service.client import ServiceClient, endpoint_from_file
+from repro.service.daemon import BackgroundDaemon, Daemon, run_daemon
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATUSES,
+    TERMINAL,
+    Job,
+    Spool,
+    job_id_for,
+)
+from repro.service.queue import DEFAULT_BATCH_LIMIT, JobQueue
+
+__all__ = [
+    "BackgroundDaemon",
+    "CANCELLED",
+    "DEFAULT_BATCH_LIMIT",
+    "DONE",
+    "Daemon",
+    "FAILED",
+    "Job",
+    "JobQueue",
+    "QUEUED",
+    "RUNNING",
+    "STATUSES",
+    "ServiceClient",
+    "Spool",
+    "TERMINAL",
+    "endpoint_from_file",
+    "job_id_for",
+    "run_daemon",
+]

@@ -1,0 +1,164 @@
+"""Blocking client for the simulation-service daemon.
+
+The wire protocol is deliberately primitive — newline-delimited JSON
+over TCP, one request object per line, one response object per line —
+so a client needs nothing beyond the standard library (and a shell
+user can drive the daemon with ``nc``). Every response carries
+``"ok"``: ``true`` with the op's payload, or ``false`` with an
+``"error"`` string, which the client re-raises as
+:class:`~repro.errors.ServiceError`.
+
+Requests each use a fresh connection: the daemon is local and the
+simulations behind it dwarf connection setup, and per-request sockets
+keep the client trivially safe to share across threads.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+
+#: Default daemon endpoint.
+DEFAULT_HOST = "127.0.0.1"
+
+#: Client-side socket timeout when the caller does not say otherwise.
+DEFAULT_TIMEOUT_S = 60.0
+
+#: Refuse replies beyond this — a sane daemon never sends one, and a
+#: bound protects the client from reading garbage forever.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ServiceClient:
+    """Synchronous client for one daemon endpoint."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        if port <= 0:
+            raise ServiceError(f"a daemon port is required, got {port!r}")
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(
+        self, op: str, transport_timeout_s: Optional[float] = None, **fields
+    ) -> Dict[str, object]:
+        """One round-trip: send ``{"op": op, **fields}``, return the
+        daemon's payload, raising :class:`ServiceError` on transport
+        failure or an ``ok=false`` reply. ``transport_timeout_s``
+        bounds the socket, not the op (defaults to the client's)."""
+        doc = {"op": op, **fields}
+        wire = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        budget = (self.timeout_s if transport_timeout_s is None
+                  else transport_timeout_s)
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=budget
+            ) as conn:
+                conn.sendall(wire)
+                with conn.makefile("rb") as lines:
+                    line = lines.readline(MAX_LINE_BYTES)
+        except OSError as exc:
+            raise ServiceError(
+                f"daemon at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        if not line.endswith(b"\n"):
+            raise ServiceError(
+                "daemon closed the connection mid-reply"
+                if not line else "daemon reply exceeded the line limit")
+        try:
+            reply = json.loads(line)
+        except ValueError as exc:
+            raise ServiceError(f"malformed daemon reply: {exc}") from exc
+        if not isinstance(reply, dict) or "ok" not in reply:
+            raise ServiceError(f"malformed daemon reply: {reply!r}")
+        if not reply["ok"]:
+            raise ServiceError(str(reply.get("error", "daemon error")))
+        return reply
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """True when the daemon answers."""
+        return bool(self.request("ping")["ok"])
+
+    def submit(self, point: Sequence[str], priority: int = 0) -> str:
+        """Submit one ``(arch, workload, matrix)`` point; returns the
+        job id without waiting for execution."""
+        reply = self.request("submit", point=list(point), priority=priority)
+        return str(reply["job_id"])
+
+    def submit_many(
+        self, points: Sequence[Sequence[str]], priority: int = 0
+    ) -> List[str]:
+        """Submit a batch, one job id per point, submission order."""
+        return [self.submit(point, priority=priority) for point in points]
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """Status document of one job (no result payload)."""
+        return dict(self.request("status", job_id=job_id)["job"])
+
+    def result(
+        self, job_id: str, timeout_s: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Block until the job is terminal; returns the full job
+        document, result payload included for ``done`` jobs.
+
+        The wait is bounded either way: with no explicit ``timeout_s``
+        the daemon is asked to give up just inside the client's socket
+        budget, so the caller sees a clean ``ServiceError`` rather than
+        a dead socket."""
+        server_budget = (
+            timeout_s if timeout_s is not None
+            else max(1.0, self.timeout_s - 2.0)
+        )
+        reply = self.request(
+            "result", job_id=job_id, timeout_s=server_budget,
+            # Socket budget outlives the server-side wait.
+            transport_timeout_s=server_budget + 10.0,
+        )
+        return dict(reply["job"])
+
+    def wait_all(
+        self,
+        job_ids: Sequence[str],
+        timeout_s: Optional[float] = None,
+    ) -> List[Dict[str, object]]:
+        """``result`` for each id, preserving order."""
+        return [self.result(job_id, timeout_s=timeout_s)
+                for job_id in job_ids]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; False when it already ran (or is)."""
+        return bool(self.request("cancel", job_id=job_id)["cancelled"])
+
+    def stats(self) -> Dict[str, object]:
+        """Queue depth, per-status job counts, and the full metrics
+        registry (``service.*``, ``cache.*``, engine counters)."""
+        return dict(self.request("stats")["stats"])
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop accepting work and exit cleanly."""
+        self.request("shutdown")
+
+
+def endpoint_from_file(path) -> Tuple[str, int]:
+    """Read a ``(host, port)`` endpoint a daemon advertised via
+    ``--endpoint-file`` (CI boots the daemon with ``--port 0`` and
+    discovers the kernel-chosen port here)."""
+    try:
+        doc = json.loads(open(path, "r", encoding="utf-8").read())
+        return str(doc["host"]), int(doc["port"])
+    except (OSError, ValueError, KeyError) as exc:
+        raise ServiceError(f"unreadable endpoint file {path}: {exc}") from exc

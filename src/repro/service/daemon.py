@@ -1,0 +1,260 @@
+"""The simulation-service daemon: a TCP front door on one JobQueue.
+
+``python -m repro serve`` boots this. The daemon owns a
+:class:`~repro.service.queue.JobQueue` (and through it the shared
+warm :class:`~repro.experiments.runner.ExperimentContext`) and speaks
+the newline-delimited JSON protocol of
+:mod:`repro.service.client`: one request object per line, one
+response per line, ``{"ok": true, ...}`` or
+``{"ok": false, "error": ...}``.
+
+Everything here runs on the event loop; protocol handling never
+blocks on a simulation (the queue's executor thread does the heavy
+lifting), so status probes stay responsive while a batch runs.
+:class:`BackgroundDaemon` hosts the whole stack — loop, queue, server
+— on a private thread for tests and the in-process CI check.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ReproError, ServiceError
+from repro.experiments.runner import ExperimentContext
+from repro.service.queue import JobQueue
+
+#: Cap one request line; anything longer is a client bug, not a job.
+MAX_REQUEST_BYTES = 1 << 20
+
+
+def _write_endpoint_file(path: Path, host: str, port: int) -> None:
+    """Advertise the bound endpoint (tmp-rename; readers never see a
+    torn file). ``--port 0`` plus this file is how CI discovers the
+    kernel-chosen port."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps({"host": host, "port": port}, sort_keys=True))
+    tmp.replace(path)
+
+
+class Daemon:
+    """One TCP server bound to one :class:`JobQueue`."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        endpoint_file: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.queue = queue
+        self.host = host
+        self.port = int(port)  # 0 = kernel-chosen; real port after start()
+        self.endpoint_file = endpoint_file
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the queue and bind the listener; resolves the real
+        port and advertises it."""
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        await self.queue.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_REQUEST_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.endpoint_file is not None:
+            _write_endpoint_file(Path(self.endpoint_file), self.host, self.port)
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`request_stop` (or a ``shutdown`` op),
+        then close the listener and drain the queue."""
+        assert self._stopping is not None, "start() first"
+        await self._stopping.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        await self.queue.close()
+
+    def request_stop(self) -> None:
+        """Signal shutdown; safe from any thread."""
+        if self._stopping is None or self._loop is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._stopping.set)
+        except RuntimeError:
+            pass  # loop already closed — the daemon is gone anyway
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # over-long or torn request; drop the peer
+                if not line:
+                    break
+                reply = await self._dispatch_line(line)
+                writer.write(
+                    (json.dumps(reply, sort_keys=True) + "\n").encode("utf-8")
+                )
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        except asyncio.CancelledError:
+            pass  # loop teardown after shutdown cancels live peers;
+            # ending normally keeps the streams done-callback quiet
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch_line(self, line: bytes) -> Dict[str, object]:
+        try:
+            doc = json.loads(line)
+            if not isinstance(doc, dict) or "op" not in doc:
+                raise ServiceError("a request is a JSON object with an 'op'")
+            return await self._dispatch(doc)
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+        except ValueError as exc:
+            return {"ok": False, "error": f"malformed request: {exc}"}
+        except asyncio.TimeoutError:
+            return {"ok": False, "error": "timed out waiting for the job"}
+
+    async def _dispatch(self, doc: Dict[str, object]) -> Dict[str, object]:
+        op = doc["op"]
+        queue = self.queue
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "submit":
+            job_id = await queue.submit(
+                tuple(doc.get("point", ())),
+                priority=int(doc.get("priority", 0) or 0),
+            )
+            return {"ok": True, "job_id": job_id}
+        if op == "status":
+            return {"ok": True, "job": queue.status(str(doc.get("job_id")))}
+        if op == "result":
+            timeout = doc.get("timeout_s")
+            job = await queue.result(
+                str(doc.get("job_id")),
+                timeout=None if timeout is None else float(timeout),
+            )
+            return {"ok": True, "job": job.to_doc()}
+        if op == "cancel":
+            cancelled = await queue.cancel(str(doc.get("job_id")))
+            return {"ok": True, "cancelled": cancelled}
+        if op == "stats":
+            return {"ok": True, "stats": queue.stats()}
+        if op == "shutdown":
+            self.request_stop()
+            return {"ok": True, "stopping": True}
+        raise ServiceError(f"unknown op {op!r}")
+
+
+async def run_daemon(
+    context: Optional[ExperimentContext] = None,
+    spool_dir: Optional[Union[str, Path]] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    endpoint_file: Optional[Union[str, Path]] = None,
+    sim_workers: Optional[int] = None,
+    on_error: str = "retry",
+    announce=None,
+) -> None:
+    """Boot queue + daemon and serve until a ``shutdown`` op.
+
+    ``announce`` (when given) is called once with the bound daemon —
+    the CLI prints the endpoint through it, tests capture the port.
+    """
+    queue = JobQueue(
+        context=context, spool_dir=spool_dir,
+        sim_workers=sim_workers, on_error=on_error,
+    )
+    daemon = Daemon(
+        queue, host=host, port=port, endpoint_file=endpoint_file,
+    )
+    await daemon.start()
+    if announce is not None:
+        announce(daemon)
+    await daemon.serve_until_stopped()
+
+
+class BackgroundDaemon:
+    """A daemon on a private event-loop thread, for tests and the CI
+    smoke check: ``with BackgroundDaemon(...) as bg: client(bg.port)``.
+
+    Startup is synchronized on a :class:`threading.Event`; entering the
+    context returns only once the port is bound (or raises the boot
+    failure). Exit requests a clean stop and joins the thread.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self._kwargs = dict(kwargs)
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._boot_error: Optional[BaseException] = None
+        self.daemon: Optional[Daemon] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    def _main(self) -> None:
+        def announce(daemon: Daemon) -> None:
+            self.daemon = daemon
+            self.host = daemon.host
+            self.port = daemon.port
+            self._ready.set()
+
+        try:
+            asyncio.run(run_daemon(announce=announce, **self._kwargs))
+        except BaseException as exc:  # surface boot/serve failures
+            self._boot_error = exc
+        finally:
+            self._ready.set()
+
+    def __enter__(self) -> "BackgroundDaemon":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service-daemon", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60.0)
+        if self.daemon is None:
+            self.stop()
+            raise ServiceError(
+                f"daemon failed to boot: {self._boot_error or 'timeout'}")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        if self.daemon is not None:
+            self.daemon.request_stop()
+        if self._thread is not None:
+            self._thread.join(timeout=60.0)
+            self._thread = None
+        if self._boot_error is not None and not isinstance(
+            self._boot_error, (KeyboardInterrupt, SystemExit)
+        ):
+            error, self._boot_error = self._boot_error, None
+            raise ServiceError(f"daemon died: {error}") from error

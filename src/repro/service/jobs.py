@@ -1,0 +1,155 @@
+"""Job records and the crash-recovery spool of the simulation service.
+
+A :class:`Job` is one client submission: a single ``(arch, workload,
+matrix)`` point plus its priority and lifecycle state. Identical
+submissions (same content key) do **not** each get their own
+simulation — the queue coalesces them onto one execution and fans the
+result out — but they *do* each get their own job record, so every
+client can observe its own status and provenance (the coalesced ones
+carry ``coalesced_into`` and a manifest marked ``coalesced=True``).
+
+The :class:`Spool` is the queue's persistence: one small JSON document
+per job under a spool directory, written via the same tmp-rename
+protocol as the result store, updated on every status transition. A
+daemon that crashes (or is SIGKILLed) mid-run restarts, replays the
+spool, and re-enqueues every job that never reached a terminal state —
+results already produced are served from the result store, so recovery
+re-runs only what was genuinely lost.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.stats import SimResult
+from repro.obs.manifest import RunManifest
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+#: Every valid state, lifecycle order.
+STATUSES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: Distinguishes temp files of concurrent threads in one process.
+_TMP_COUNTER = itertools.count()
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle record."""
+
+    job_id: str
+    point: Tuple[str, str, str]
+    priority: int = 0
+    status: str = QUEUED
+    #: Job id of the submission whose execution this one coalesced
+    #: onto (None for the primary submission of its key).
+    coalesced_into: Optional[str] = None
+    error: Optional[str] = None
+    result: Optional[SimResult] = field(default=None, repr=False)
+    manifest: Optional[RunManifest] = field(default=None, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL
+
+    @property
+    def seq(self) -> int:
+        """Monotone submission sequence number encoded in the id."""
+        return int(self.job_id.rsplit("-", 1)[-1])
+
+    def describe(self) -> Dict[str, object]:
+        """Status document: everything but the (possibly large) result
+        payload — what ``status`` requests and the spool record."""
+        return {
+            "job_id": self.job_id,
+            "point": list(self.point),
+            "priority": self.priority,
+            "status": self.status,
+            "coalesced_into": self.coalesced_into,
+            "error": self.error,
+            "manifest": None if self.manifest is None
+            else self.manifest.to_dict(),
+        }
+
+    def to_doc(self) -> Dict[str, object]:
+        """Full document, result payload included (``result`` reply)."""
+        doc = self.describe()
+        doc["result"] = None if self.result is None else self.result.to_dict()
+        return doc
+
+
+def job_id_for(seq: int) -> str:
+    """Canonical job id for one submission sequence number."""
+    return f"job-{seq:06d}"
+
+
+class Spool:
+    """Directory of per-job JSON records for crash recovery.
+
+    Writes follow the tmp-rename protocol (pid + per-process counter
+    temp name, then an atomic ``replace``), so a reader — including a
+    recovering daemon — never observes a torn record.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.json"
+
+    def write(self, job: Job) -> Path:
+        """Persist one job's current state atomically."""
+        path = self.path_for(job.job_id)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        )
+        tmp.write_text(json.dumps(job.describe(), sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def load(self) -> List[Dict[str, object]]:
+        """Every readable spool record, submission order. Unparseable
+        records (a writer crashed before tmp-rename ever landed one)
+        are skipped — recovery is best-effort by design."""
+        docs = []
+        for path in sorted(self.root.glob("job-*.json")):
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(doc, dict) and "job_id" in doc and "point" in doc:
+                docs.append(doc)
+        return docs
+
+    def max_seq(self) -> int:
+        """Highest submission sequence number on disk (0 when empty) —
+        a recovering queue resumes its id counter past this."""
+        top = 0
+        for doc in self.load():
+            try:
+                top = max(top, int(str(doc["job_id"]).rsplit("-", 1)[-1]))
+            except ValueError:
+                continue
+        return top
+
+    def sweep_tmp(self) -> None:
+        """Remove temp debris a crashed writer left behind."""
+        for tmp in self.root.glob("*.tmp"):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,442 @@
+"""The asyncio job queue: coalescing submissions over one warm store.
+
+Before this layer, every caller of
+:meth:`~repro.experiments.runner.ExperimentContext.simulate_many`
+owned its own cache directory and process pool — N clients meant N
+cold caches and N uncoordinated worker fleets. :class:`JobQueue` is
+the service-side fix, the same move SpArch and SparseZipper make at
+the hardware level (merge redundant partial work before it hits
+memory) applied to requests:
+
+- **One warm store.** All jobs run through one
+  :class:`~repro.experiments.runner.ExperimentContext` whose disk
+  cache is the sharded, LRU-bounded
+  :class:`~repro.engine.cache.ResultCache`. A job whose result is
+  already in the in-memory layer completes at submit time, manifest
+  marked ``from_cache=True``.
+- **Request coalescing.** Submissions are keyed by
+  :meth:`ExperimentContext.point_key` (the content hash of the whole
+  simulation input). While a key is queued or running, further
+  identical submissions attach to the in-flight execution instead of
+  enqueueing their own: exactly one simulation runs, every waiter
+  receives the bit-identical result, and the attached jobs' manifests
+  are marked ``coalesced=True`` with ``coalesced_into`` naming the
+  primary job.
+- **Priorities and batching.** Ready jobs are drained in priority
+  order (higher first, FIFO within a priority) and dispatched in
+  batches onto :func:`~repro.resilience.supervisor.supervised_map`
+  via ``simulate_many`` — one supervised worker fleet for the whole
+  service. Worker death, retries, and watchdog expiry surface as
+  per-job status/manifest provenance, never as service crashes.
+- **Crash recovery.** With a spool directory every job transition is
+  journaled (:class:`~repro.service.jobs.Spool`); a restarted queue
+  re-enqueues whatever never reached a terminal state.
+
+Threading model: all queue state is owned by the event-loop thread.
+Simulation batches run on a single dedicated executor thread (the
+only thread that touches the shared context while a batch is in
+flight), which in turn fans out over the supervised process pool —
+so no queue/context state is ever mutated from two threads at once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.engine.registry import get_arch
+from repro.errors import ServiceError
+from repro.experiments.runner import ExperimentContext, Point
+from repro.matrices.suite import SUITE
+from repro.service import jobs as jb
+from repro.service.jobs import Job, Spool, job_id_for
+from repro.workloads.registry import WORKLOADS
+
+#: Default maximum number of distinct keys dispatched as one batch.
+DEFAULT_BATCH_LIMIT = 16
+
+
+class JobQueue:
+    """Priority job queue with request coalescing; see module docs.
+
+    ``context`` defaults to a fresh :class:`ExperimentContext`;
+    production deployments pass one configured with ``cache_dir`` (the
+    shared sharded store) and a byte budget. ``sim_workers`` is the
+    supervised process-pool width each batch fans out over;
+    ``on_error`` is the per-point policy (default ``"retry"`` — a
+    service should absorb transient faults, not crash on them).
+    ``runner`` overrides the batch execution callable (tests inject
+    blocking/recording runners to pin down coalescing windows).
+    """
+
+    def __init__(
+        self,
+        context: Optional[ExperimentContext] = None,
+        spool_dir: Optional[Union[str, Path]] = None,
+        sim_workers: Optional[int] = None,
+        on_error: str = "retry",
+        batch_limit: int = DEFAULT_BATCH_LIMIT,
+        runner=None,
+    ) -> None:
+        self.context = context if context is not None else ExperimentContext()
+        self.metrics = self.context.metrics
+        self.sim_workers = sim_workers
+        self.on_error = on_error
+        self.batch_limit = max(1, int(batch_limit))
+        self._runner = runner if runner is not None else self._run_points
+        self.spool = Spool(spool_dir) if spool_dir is not None else None
+        #: Every job ever submitted to this queue, by id.
+        self._jobs: Dict[str, Job] = {}
+        #: Waiter job ids per content key, submission order; present
+        #: exactly while the key is queued or running. The first
+        #: non-cancelled entry is the primary, the rest coalesce.
+        self._waiters: Dict[Tuple, List[str]] = {}
+        #: Keys currently executing on the runner thread.
+        self._running: Set[Tuple] = set()
+        self._events: Dict[str, asyncio.Event] = {}
+        self._ready: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._seq = itertools.count(1)
+        self._order = itertools.count()  # FIFO tiebreak within a priority
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-runner"
+        )
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Recover the spool (if any) and start the dispatcher."""
+        if self._closed:
+            raise ServiceError("JobQueue is closed")
+        if self._dispatcher is None:
+            await self._recover()
+            self._dispatcher = asyncio.create_task(
+                self._dispatch_loop(), name="repro-service-dispatch"
+            )
+
+    async def close(self) -> None:
+        """Stop dispatching and wait for the in-flight batch to land.
+
+        Queued jobs stay journaled in the spool; a later queue over the
+        same spool directory re-enqueues them.
+        """
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        # Waits for a batch the cancel interrupted mid-await; its jobs
+        # remain RUNNING in the spool and recover on restart.
+        self._executor.shutdown(wait=True)
+
+    async def join(self, timeout: Optional[float] = None) -> None:
+        """Wait until no job is queued or running."""
+        if timeout is None:
+            await self._idle.wait()
+        else:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    async def submit(self, point: Point, priority: int = 0) -> str:
+        """Submit one ``(arch, workload, matrix)`` point; returns the
+        job id immediately.
+
+        Fast paths, in order: a result already in the warm in-memory
+        layer completes the job at submit time (``from_cache``); an
+        identical queued/running submission coalesces this one onto it
+        (``coalesced``); otherwise the job is enqueued by priority.
+        """
+        if self._closed:
+            raise ServiceError("JobQueue is closed")
+        point = self._validate_point(point)
+        job = Job(
+            job_id=job_id_for(next(self._seq)),
+            point=point,
+            priority=int(priority),
+        )
+        self._register(job)
+        self.metrics.counter("service.jobs_submitted").inc()
+        key = self.context.point_key(point)
+
+        cached = self.context.result_for(key)
+        if cached is not None:
+            manifest = self.context.manifests.get(key)
+            self._finish(
+                job, jb.DONE, result=cached,
+                manifest=None if manifest is None
+                else manifest.served_from_cache(),
+            )
+            self.metrics.counter("service.cache_served").inc()
+            return job.job_id
+
+        waiters = self._waiters.get(key)
+        if waiters:
+            job.coalesced_into = waiters[0]
+            waiters.append(job.job_id)
+            primary = self._jobs[waiters[0]]
+            if primary.status == jb.RUNNING:
+                self._transition(job, jb.RUNNING)
+            self.metrics.counter("service.jobs_coalesced").inc()
+        else:
+            self._waiters[key] = [job.job_id]
+            self._enqueue(key, job.priority)
+        self._idle.clear()
+        self._spool(job)
+        return job.job_id
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """Status document of one job (:meth:`Job.describe`)."""
+        return self._job(job_id).describe()
+
+    async def result(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Job:
+        """Wait until ``job_id`` reaches a terminal state; returns the
+        job record (result payload included for ``done`` jobs)."""
+        job = self._job(job_id)
+        event = self._events[job_id]
+        if timeout is None:
+            await event.wait()
+        else:
+            await asyncio.wait_for(event.wait(), timeout)
+        return job
+
+    async def cancel(self, job_id: str) -> bool:
+        """Cancel one queued job. Returns False when the job is
+        already running (the supervised fleet cannot abandon a point
+        mid-simulation) or terminal."""
+        job = self._job(job_id)
+        if job.terminal or job.status == jb.RUNNING:
+            return False
+        key = self.context.point_key(job.point)
+        waiters = self._waiters.get(key, [])
+        if job.job_id in waiters:
+            was_primary = waiters and waiters[0] == job.job_id
+            waiters.remove(job.job_id)
+            if not waiters:
+                # Stale ready-queue entries for the key are skipped at
+                # dispatch (no waiters left).
+                self._waiters.pop(key, None)
+            elif was_primary:
+                self._jobs[waiters[0]].coalesced_into = None
+        self._finish(job, jb.CANCELLED)
+        self.metrics.counter("service.jobs_cancelled").inc()
+        self._maybe_idle()
+        return True
+
+    def depth(self) -> int:
+        """Jobs not yet terminal (queued + running + coalesced)."""
+        return sum(1 for job in self._jobs.values() if not job.terminal)
+
+    def stats(self) -> Dict[str, object]:
+        """Queue-level statistics plus the full metrics registry."""
+        by_status: Dict[str, int] = {}
+        for job in self._jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "depth": self.depth(),
+            "jobs": by_status,
+            "running_keys": len(self._running),
+            "metrics": self.metrics.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            entries = [await self._ready.get()]
+            while len(entries) < self.batch_limit:
+                try:
+                    entries.append(self._ready.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            entries.sort()  # priority order inside the batch, too
+            batch: List[Tuple[Tuple, Point]] = []
+            seen: Set[Tuple] = set()
+            for _neg_priority, _order, key in entries:
+                ids = self._waiters.get(key)
+                if not ids or key in seen or key in self._running:
+                    continue  # cancelled away, or a stale duplicate
+                seen.add(key)
+                batch.append((key, self._jobs[ids[0]].point))
+            if not batch:
+                self._maybe_idle()
+                continue
+            keys = [key for key, _ in batch]
+            points = [point for _, point in batch]
+            for key in keys:
+                self._running.add(key)
+                for job_id in self._waiters[key]:
+                    self._transition(self._jobs[job_id], jb.RUNNING)
+                    self._spool(self._jobs[job_id])
+            self.metrics.counter("service.batches").inc()
+            error: Optional[str] = None
+            try:
+                await loop.run_in_executor(
+                    self._executor, self._runner, points
+                )
+            except Exception as exc:  # a whole-batch failure
+                error = f"{type(exc).__name__}: {exc}"
+            self._fan_out(keys, error)
+            self._maybe_idle()
+
+    def _run_points(self, points: Sequence[Point]) -> None:
+        """Default batch runner (executor thread): one supervised
+        fan-out over the shared context for the whole batch."""
+        self.context.simulate_many(
+            list(points),
+            max_workers=self.sim_workers,
+            on_error=self.on_error,
+        )
+
+    def _fan_out(self, keys: Sequence[Tuple], error: Optional[str]) -> None:
+        """Deliver one finished batch to every waiter of its keys —
+        including waiters that attached while the batch was running."""
+        for key in keys:
+            self._running.discard(key)
+            ids = self._waiters.pop(key, [])
+            result = self.context.result_for(key)
+            manifest = self.context.manifests.get(key)
+            primary_seen = False
+            for job_id in ids:
+                job = self._jobs[job_id]
+                if job.terminal:
+                    continue  # cancelled while queued
+                if result is None:
+                    detail = error
+                    if detail is None and manifest is not None:
+                        detail = "; ".join(
+                            str(f.get("error") or f.get("message", ""))
+                            for f in manifest.faults
+                        ) or "simulation failed"
+                    self._finish(
+                        job, jb.FAILED,
+                        manifest=manifest,
+                        error=detail or "simulation failed",
+                    )
+                    self.metrics.counter("service.jobs_failed").inc()
+                    continue
+                served = manifest
+                if served is not None and primary_seen:
+                    served = served.served_coalesced()
+                self._finish(job, jb.DONE, result=result, manifest=served)
+                primary_seen = True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _validate_point(self, point: Point) -> Point:
+        point = tuple(point)
+        if len(point) != 3:
+            raise ServiceError(
+                f"a point is (arch, workload, matrix), got {point!r}")
+        arch, workload, matrix = (str(p) for p in point)
+        get_arch(arch)  # ConfigError on unknown architecture
+        if workload not in WORKLOADS:
+            raise ServiceError(f"unknown workload {workload!r}")
+        if matrix not in SUITE:
+            raise ServiceError(f"unknown suite matrix {matrix!r}")
+        return (arch, workload, matrix)
+
+    def _job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return job
+
+    def _register(self, job: Job) -> None:
+        self._jobs[job.job_id] = job
+        self._events[job.job_id] = asyncio.Event()
+
+    def _enqueue(self, key: Tuple, priority: int) -> None:
+        self._ready.put_nowait((-priority, next(self._order), key))
+
+    def _transition(self, job: Job, status: str) -> None:
+        if not job.terminal:
+            job.status = status
+
+    def _finish(
+        self,
+        job: Job,
+        status: str,
+        result=None,
+        manifest=None,
+        error: Optional[str] = None,
+    ) -> None:
+        job.status = status
+        job.result = result
+        job.manifest = manifest
+        job.error = error
+        if status == jb.DONE:
+            self.metrics.counter("service.jobs_completed").inc()
+        self._events[job.job_id].set()
+        self._spool(job)
+
+    def _spool(self, job: Job) -> None:
+        if self.spool is not None:
+            self.spool.write(job)
+
+    def _maybe_idle(self) -> None:
+        if self._ready.empty() and not self._running and not any(
+            not job.terminal for job in self._jobs.values()
+        ):
+            self._idle.set()
+
+    async def _recover(self) -> None:
+        """Re-enqueue every spooled job that never reached a terminal
+        state (crash recovery); resume the id counter past the spool."""
+        if self.spool is None:
+            return
+        self.spool.sweep_tmp()
+        docs = self.spool.load()
+        top = 0
+        recovered = 0
+        for doc in docs:
+            try:
+                top = max(top, int(str(doc["job_id"]).rsplit("-", 1)[-1]))
+            except ValueError:
+                continue
+        self._seq = itertools.count(top + 1)
+        for doc in docs:
+            if doc.get("status") in jb.TERMINAL:
+                continue
+            try:
+                point = self._validate_point(tuple(doc["point"]))
+            except Exception:
+                continue  # the workload registry moved on; drop it
+            job_id = str(doc["job_id"])
+            if job_id in self._jobs:
+                continue
+            job = Job(
+                job_id=job_id,
+                point=point,
+                priority=int(doc.get("priority", 0)),
+            )
+            self._register(job)
+            key = self.context.point_key(point)
+            waiters = self._waiters.get(key)
+            if waiters:
+                job.coalesced_into = waiters[0]
+                waiters.append(job.job_id)
+            else:
+                self._waiters[key] = [job.job_id]
+                self._enqueue(key, job.priority)
+            self._idle.clear()
+            self._spool(job)
+            recovered += 1
+        if recovered:
+            self.metrics.counter("service.jobs_recovered").inc(recovered)

@@ -1,0 +1,327 @@
+"""The sharded, LRU-bounded result store under concurrent fire.
+
+Three layers of lock-in for :class:`repro.engine.cache.ResultCache`:
+
+- **Layout** — entries shard deterministically by key digest, the
+  store validates its knobs, and quarantine is per shard.
+- **Budget** — the byte budget holds after every put, eviction is
+  least-recently-*used* (a ``get`` refreshes recency), the LRU order
+  survives a process restart, and every eviction is visible in the
+  metrics registry.
+- **Stress** — many threads and many processes hammering one store
+  concurrently produce no lost updates, no torn reads, no quarantine
+  events, no ``*.tmp`` debris, and never leave the store over budget;
+  injected read-side corruption (``cache.get`` fault site) quarantines
+  into the owning shard only.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import random
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.arch.config import SparsepipeConfig
+from repro.arch.simulator import SparsepipeSimulator
+from repro.arch.stats import SimResult
+from repro.engine.cache import DEFAULT_SHARDS, ResultCache
+from repro.errors import ConfigError
+from repro.matrices import banded_mesh
+from repro.obs.metrics import MetricsRegistry
+from repro.preprocess import preprocess
+from repro.resilience.faults import Fault, FaultPlan, activate
+from tests.test_engine import make_profile
+
+
+@pytest.fixture(scope="module")
+def result() -> SimResult:
+    prep = preprocess(banded_mesh(120, 6, 400, seed=3),
+                      reorder=None, block_size=None)
+    return SparsepipeSimulator(SparsepipeConfig(subtensor_cols=32)).run(
+        make_profile(n_iterations=2), prep)
+
+
+def _key(i: int):
+    """Distinct cache key for index ``i`` (varies the config digest)."""
+    return ("sparsepipe", "pr", "gy", f"cfg-{i:04d}", None, None)
+
+
+# ----------------------------------------------------------------------
+# Layout
+# ----------------------------------------------------------------------
+class TestShardLayout:
+    def test_entries_spread_across_shards(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        for i in range(32):
+            cache.put(*_key(i), result=result)
+        populated = [d for d in cache.shard_dirs() if any(d.glob("*.json"))]
+        assert len(populated) > 1
+        assert len(cache) == 32
+        # Every entry went to the shard its path claims.
+        for shard in cache.shard_dirs():
+            for entry in shard.glob("*.json"):
+                assert entry.parent == shard
+
+    def test_same_key_same_path_and_shard(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        first = cache.put(*_key(0), result=result)
+        second = cache.put(*_key(0), result=result)
+        assert first == second
+        assert len(cache) == 1
+        assert cache.get(*_key(0)) == result
+
+    def test_default_and_single_shard_layouts(self, tmp_path, result):
+        assert ResultCache(tmp_path / "d").n_shards == DEFAULT_SHARDS
+        single = ResultCache(tmp_path / "s", shards=1)
+        for i in range(8):
+            single.put(*_key(i), result=result)
+        assert len(single) == 8
+        assert all(single.get(*_key(i)) == result for i in range(8))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"shards": 0}, {"shards": -2}, {"max_bytes": 0}, {"max_bytes": -1},
+    ])
+    def test_invalid_knobs_rejected(self, tmp_path, kwargs):
+        with pytest.raises(ConfigError):
+            ResultCache(tmp_path, **kwargs)
+
+    def test_quarantine_is_per_shard(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        paths = [cache.put(*_key(i), result=result) for i in range(6)]
+        # Corrupt two entries in (very likely) different shards.
+        for path in (paths[0], paths[-1]):
+            path.write_text("garbage{")
+        assert cache.get(*_key(0)) is None
+        assert cache.get(*_key(5)) is None
+        for path in (paths[0], paths[-1]):
+            corpse = path.parent / "quarantine" / path.name
+            assert corpse.exists()
+        assert len(cache.quarantine_paths()) == 2
+        assert [d.code for d in cache.pop_diagnostics()] == ["SP604"] * 2
+
+
+# ----------------------------------------------------------------------
+# Budget / LRU
+# ----------------------------------------------------------------------
+class TestByteBudget:
+    def _bounded(self, root, result, n_entries_budget, **kwargs):
+        """A cache whose budget holds exactly ``n_entries_budget``
+        entries of ``result``'s serialized size."""
+        probe = ResultCache(root / "probe")
+        size = probe.put(*_key(0), result=result).stat().st_size
+        return ResultCache(
+            root / "store", max_bytes=size * n_entries_budget + size // 2,
+            **kwargs,
+        )
+
+    def test_budget_invariant_after_every_put(self, tmp_path, result):
+        cache = self._bounded(tmp_path, result, n_entries_budget=3)
+        for i in range(10):
+            cache.put(*_key(i), result=result)
+            assert cache.live_bytes() <= cache.max_bytes
+        assert len(cache) == 3
+
+    def test_eviction_is_least_recently_used(self, tmp_path, result):
+        cache = self._bounded(tmp_path, result, n_entries_budget=3)
+        for i in range(3):
+            cache.put(*_key(i), result=result)
+        # Refresh key 0: it is now the *most* recently used.
+        assert cache.get(*_key(0)) == result
+        cache.put(*_key(3), result=result)
+        assert cache.get(*_key(1)) is None   # oldest untouched: evicted
+        assert cache.get(*_key(0)) == result  # refreshed: survived
+        assert cache.get(*_key(3)) == result
+
+    def test_lru_order_survives_restart(self, tmp_path, result):
+        cache = self._bounded(tmp_path, result, n_entries_budget=3)
+        for i in range(3):
+            cache.put(*_key(i), result=result)
+        # A brand-new store over the same directory (fresh logical
+        # clock, seeded from disk) must continue the same LRU order.
+        reopened = ResultCache(cache.root, max_bytes=cache.max_bytes)
+        assert reopened.get(*_key(0)) == result
+        reopened.put(*_key(3), result=result)
+        assert reopened.get(*_key(1)) is None
+        assert reopened.get(*_key(0)) == result
+
+    def test_eviction_reported_through_metrics(self, tmp_path, result):
+        registry = MetricsRegistry()
+        probe = ResultCache(tmp_path / "probe")
+        size = probe.put(*_key(0), result=result).stat().st_size
+        cache = ResultCache(
+            tmp_path / "store", max_bytes=3 * size + size // 2,
+            metrics=registry,
+        )
+        for i in range(5):
+            cache.put(*_key(i), result=result)
+        assert registry.value("cache.evicted") == 2
+        assert registry.value("cache.evicted_bytes") == 2 * size
+        assert registry.value("cache.bytes") == cache.live_bytes()
+        assert cache.get(*_key(4)) == result
+        assert cache.get(*_key(0)) is None
+        assert registry.value("cache.hits") == 1
+        assert registry.value("cache.misses") == 1
+
+    def test_unbounded_store_never_evicts(self, tmp_path, result):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, metrics=registry)
+        for i in range(20):
+            cache.put(*_key(i), result=result)
+        assert len(cache) == 20
+        assert registry.value("cache.evicted") == 0
+
+
+# ----------------------------------------------------------------------
+# Concurrency stress (threads + processes)
+# ----------------------------------------------------------------------
+N_KEYS = 12
+
+
+def _hammer(cache: ResultCache, doc: dict, seed: int, n_ops: int) -> int:
+    """Mixed put/get workload against ``cache``; returns the number of
+    successful validated reads. Every writer writes the *identical*
+    result per key, so any read that returns a result must equal it —
+    anything else is a lost update or torn read."""
+    expected = SimResult.from_dict(doc)
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(n_ops):
+        i = rng.randrange(N_KEYS)
+        if rng.random() < 0.5:
+            cache.put(*_key(i), result=expected)
+        else:
+            got = cache.get(*_key(i))
+            if got is not None:
+                assert got == expected, f"torn/lost entry for key {i}"
+                hits += 1
+    return hits
+
+
+def _process_worker(root: str, doc: dict, max_bytes: int,
+                    seed: int, n_ops: int) -> int:
+    cache = ResultCache(root, max_bytes=max_bytes)
+    return _hammer(cache, doc, seed, n_ops)
+
+
+def _assert_store_sane(cache: ResultCache, result: SimResult) -> None:
+    """Post-stress invariants: no debris, no quarantine, within
+    budget, every survivor readable and exact."""
+    assert list(cache.root.rglob("*.tmp")) == []
+    assert cache.quarantine_paths() == []
+    assert cache.pop_diagnostics() == []
+    if cache.max_bytes is not None:
+        assert cache.live_bytes() <= cache.max_bytes
+    survivors = 0
+    for i in range(N_KEYS):
+        got = cache.get(*_key(i))
+        if got is not None:
+            assert got == result
+            survivors += 1
+    assert survivors >= 1  # the store didn't just evict everything
+
+
+class TestConcurrencyStress:
+    def test_thread_stress_no_lost_updates(self, tmp_path, result):
+        probe = ResultCache(tmp_path / "probe")
+        size = probe.put(*_key(0), result=result).stat().st_size
+        registry = MetricsRegistry()
+        cache = ResultCache(
+            tmp_path / "store", max_bytes=size * (N_KEYS // 2),
+            metrics=registry,
+        )
+        doc = result.to_dict()
+        errors: list = []
+
+        def worker(seed: int) -> None:
+            try:
+                _hammer(cache, doc, seed, n_ops=120)
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        _assert_store_sane(cache, result)
+        assert registry.value("cache.evicted") > 0  # budget actually bit
+
+    def test_process_stress_no_lost_updates(self, tmp_path, result):
+        probe = ResultCache(tmp_path / "probe")
+        size = probe.put(*_key(0), result=result).stat().st_size
+        max_bytes = size * (N_KEYS // 2)
+        root = tmp_path / "store"
+        doc = result.to_dict()
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=4, mp_context=ctx) as pool:
+            futures = [
+                pool.submit(_process_worker, str(root), doc, max_bytes,
+                            seed, 80)
+                for seed in range(4)
+            ]
+            for future in futures:
+                future.result(timeout=120)  # re-raises worker assertions
+        _assert_store_sane(ResultCache(root, max_bytes=max_bytes), result)
+
+    def test_threads_and_processes_together(self, tmp_path, result):
+        root = tmp_path / "store"
+        doc = result.to_dict()
+        cache = ResultCache(root)  # unbounded: count survivors exactly
+        errors: list = []
+
+        def worker(seed: int) -> None:
+            try:
+                _hammer(cache, doc, seed, n_ops=60)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(4)]
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=2, mp_context=ctx) as pool:
+            futures = [
+                pool.submit(_process_worker, str(root), doc, 1 << 40,
+                            seed + 100, 60)
+                for seed in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for future in futures:
+                future.result(timeout=120)
+        assert errors == []
+        _assert_store_sane(cache, result)
+
+
+class TestInjectedCorruption:
+    def test_read_faults_quarantine_into_owning_shard(
+            self, tmp_path, result):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, metrics=registry)
+        paths = [cache.put(*_key(i), result=result) for i in range(4)]
+        plan = FaultPlan(seed=7, faults={
+            "cache.get": Fault(kind="corrupt_file", rate=1.0),
+        })
+        with activate(plan):
+            for i in range(4):
+                assert cache.get(*_key(i)) is None
+        # Each corpse sits in its own entry's shard quarantine.
+        for path in paths:
+            assert (path.parent / "quarantine" / path.name).exists()
+            assert not path.exists()
+        assert len(cache.quarantine_paths()) == 4
+        diags = cache.pop_diagnostics()
+        assert [d.code for d in diags] == ["SP604"] * 4
+        # Quarantined corpses never count against the live budget...
+        assert len(cache) == 0
+        # ...and the slots repopulate on the next put.
+        cache.put(*_key(0), result=result)
+        with activate(FaultPlan(seed=7, faults={})):
+            assert cache.get(*_key(0)) == result

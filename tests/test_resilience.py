@@ -260,9 +260,13 @@ class TestCacheTempFiles:
         cache.put("a", "pr", "gy", "k", None, None, result=result)
         debris = tmp_path / f"entry.json.{os.getpid()}.0.tmp"
         debris.write_text("{half-written")
+        shard_debris = (cache.shard_dir(0)
+                        / f"entry.json.{os.getpid()}.1.tmp")
+        shard_debris.write_text("{half-written")
         assert cache.clear() == 1
         assert not debris.exists()
-        assert list(tmp_path.glob("*.tmp")) == []
+        assert not shard_debris.exists()
+        assert list(tmp_path.rglob("*.tmp")) == []
 
 
 class TestCacheQuarantine:
@@ -301,7 +305,9 @@ class TestCacheQuarantine:
         assert cache.get(*self.KEY) is None
         # ...quarantine the corpse (never silently re-missed forever)...
         assert not path.exists()
-        assert (cache.quarantine_dir / path.name).exists()
+        # Quarantine lives beside the entry, inside its own shard.
+        assert (path.parent / "quarantine" / path.name).exists()
+        assert [p.name for p in cache.quarantine_paths()] == [path.name]
         diags = cache.pop_diagnostics()
         assert [d.code for d in diags] == ["SP604"]
         assert cache.pop_diagnostics() == []
@@ -312,13 +318,13 @@ class TestCacheQuarantine:
     def test_missing_file_is_plain_miss_no_quarantine(self, tmp_path):
         cache = ResultCache(tmp_path)
         assert cache.get(*self.KEY) is None
-        assert not cache.quarantine_dir.exists()
+        assert not any(d.exists() for d in cache.quarantine_dirs())
         assert cache.pop_diagnostics() == []
 
     def test_context_counts_quarantine(self, tmp_path):
         ctx = ExperimentContext(matrices=("gy",), cache_dir=tmp_path)
         ctx.simulate("ideal", "pr", "gy")
-        entry = next(tmp_path.glob("*.json"))
+        entry = next(tmp_path.rglob("*.json"))
         entry.write_text("garbage{")
         fresh = ExperimentContext(matrices=("gy",), cache_dir=tmp_path)
         fresh.simulate("ideal", "pr", "gy")

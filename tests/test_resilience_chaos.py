@@ -76,7 +76,7 @@ class TestChaosSweep:
         assert {"cache.get", "engine.run"} <= sites
 
         # ...quarantined corpses on disk...
-        quarantined = list((cache_dir / "quarantine").glob("*.json"))
+        quarantined = list(cache_dir.glob("*/quarantine/*.json"))
         assert len(quarantined) == len(POINTS)
 
         # ...and SP6xx provenance in every point's manifest.
@@ -118,6 +118,105 @@ class TestChaosSweep:
             statuses = tuple(
                 chaotic.manifest(*p).status for p in POINTS[:2])
             outcomes.append((results, statuses))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestChaosService:
+    """The SP6xx fault plan against a live, in-process JobQueue.
+
+    The acceptance bar matches the sweep suite's: under worker death,
+    read-side cache corruption, and transient engine raises — all at
+    rate 1.0 — every submitted job still completes, with results
+    bit-identical to a fault-free service, and the faults visible as
+    SP6xx provenance in the served manifests.
+    """
+
+    def _serve(self, cache_dir, plan=None):
+        import asyncio
+
+        from repro.service import JobQueue
+
+        async def main():
+            context = ExperimentContext(
+                cache_dir=cache_dir, max_workers=2, on_error="retry")
+            queue = JobQueue(context=context)
+            await queue.start()
+            if plan is not None:
+                with activate(plan):
+                    job_ids = [await queue.submit(p) for p in POINTS]
+                    jobs = [await queue.result(j, timeout=300)
+                            for j in job_ids]
+            else:
+                job_ids = [await queue.submit(p) for p in POINTS]
+                jobs = [await queue.result(j, timeout=300)
+                        for j in job_ids]
+            await queue.close()
+            return queue, jobs
+
+        return asyncio.run(main())
+
+    def test_service_survives_every_fault_site(self, chaos_dir):
+        cache_dir = chaos_dir / "service-cache"
+
+        # Fault-free baseline service; populates the shared store so
+        # the chaos pass exercises the cache.get corruption site.
+        _clean_queue, baseline = self._serve(cache_dir)
+        assert all(job.status == "done" for job in baseline)
+
+        queue, jobs = self._serve(cache_dir, plan=_plan())
+        fired = drain_fired()
+
+        # Acceptance: every job lands, bit-identical to fault-free.
+        assert [job.status for job in jobs] == ["done"] * len(POINTS)
+        assert [job.result for job in jobs] == \
+            [job.result for job in baseline]
+
+        # The faults really fired, at the expected sites...
+        assert all(d.code == "SP607" for d in fired)
+        sites = {d.location.split("[")[0] for d in fired}
+        assert {"cache.get", "engine.run"} <= sites
+
+        # ...each job's served manifest carries the SP6xx provenance
+        # (status degraded to "retried", never silently "ok")...
+        codes = set()
+        for job in jobs:
+            assert job.manifest.status == "retried"
+            codes.update(f.get("code") for f in job.manifest.faults)
+        assert {"SP601", "SP602", "SP604"} <= codes
+
+        # ...the per-shard quarantine caught every corrupted read...
+        quarantined = list(cache_dir.glob("*/quarantine/*.json"))
+        assert len(quarantined) == len(POINTS)
+
+        # ...and the service + engine books agree on what happened.
+        metrics = queue.context.metrics
+        assert metrics.counter("cache.quarantined").value == len(POINTS)
+        assert metrics.counter("resilience.retries").value >= len(POINTS)
+        assert queue.metrics.value("service.jobs_completed") == len(POINTS)
+        assert queue.metrics.value("service.jobs_failed") == 0
+
+    def test_chaos_service_digests_match_clean_service(self, tmp_path):
+        # Fault survival is unstable provenance: run identity of a
+        # service answer must not depend on the chaos it survived.
+        _q1, clean = self._serve(tmp_path / "clean")
+        _q2, chaotic = self._serve(tmp_path / "chaotic", plan=_plan())
+        drain_fired()
+        for a, b in zip(clean, chaotic):
+            assert a.manifest.digest() == b.manifest.digest()
+
+    def test_chaos_service_honors_seed_env(self, tmp_path):
+        # REPRO_CHAOS_SEED reaches the service plan: same seed, same
+        # jobs, same outcome — byte-identical served documents.
+        outcomes = []
+        for attempt in ("a", "b"):
+            queue, jobs = self._serve(tmp_path / attempt,
+                                      plan=_plan())
+            drain_fired()
+            outcomes.append([
+                {k: v for k, v in job.to_doc().items()
+                 if k != "manifest"}  # manifests differ in wall time
+                for job in jobs
+            ])
         assert outcomes[0] == outcomes[1]
 
 

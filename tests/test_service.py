@@ -1,0 +1,383 @@
+"""The simulation service: queue lifecycle, coalescing, daemon.
+
+The headline acceptance test is :class:`TestCoalescing`: N identical
+and M distinct concurrent submissions must run exactly ``M + 1``
+simulations (counted through the engine's ``sim.runs`` metric — not
+through service bookkeeping, which could lie), every waiter must
+receive the bit-identical result, and the coalesced waiters' manifests
+must say so (``coalesced=True``, ``coalesced_into`` naming the
+primary).
+
+The rest locks the queue's contract: priority order, cancellation
+(including cancelling a primary out from under its waiters), the
+cache-served fast path, failure surfacing, spool crash recovery, and
+the TCP daemon/client end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.runner import ExperimentContext
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    BackgroundDaemon,
+    JobQueue,
+    ServiceClient,
+    Spool,
+    jobs as jb,
+)
+
+POINT = ("sparsepipe", "pr", "gy")
+OTHER = ("ideal", "pr", "gy")
+THIRD = ("cpu", "kcore", "gy")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _started_queue(**kwargs) -> JobQueue:
+    queue = JobQueue(**kwargs)
+    await queue.start()
+    return queue
+
+
+# ----------------------------------------------------------------------
+# Coalescing (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_n_identical_plus_m_distinct_run_m_plus_1_sims(self, tmp_path):
+        N, distinct = 6, [OTHER, THIRD]  # M = 2
+
+        async def main():
+            ctx = ExperimentContext(cache_dir=tmp_path / "cache")
+            queue = await _started_queue(context=ctx, sim_workers=2)
+            identical = [await queue.submit(POINT) for _ in range(N)]
+            others = [await queue.submit(p) for p in distinct]
+            jobs = [await queue.result(j, timeout=300)
+                    for j in identical + others]
+            await queue.close()
+            return ctx, queue, jobs
+
+        ctx, queue, jobs = run(main())
+        assert all(job.status == jb.DONE for job in jobs)
+        # Exactly M + 1 simulations, counted by the *engine*.
+        assert ctx.metrics.value("sim.runs") == len(distinct) + 1
+
+        waiters = jobs[:N]
+        # All N waiters got the bit-identical result...
+        first_doc = waiters[0].result.to_dict()
+        assert all(job.result == waiters[0].result for job in waiters)
+        assert all(job.result.to_dict() == first_doc for job in waiters)
+        # ...the primary ran, the other N-1 coalesced onto it...
+        primary, rest = waiters[0], waiters[1:]
+        assert primary.coalesced_into is None
+        assert not primary.manifest.coalesced
+        for job in rest:
+            assert job.coalesced_into == primary.job_id
+            assert job.manifest.coalesced
+            # Coalescing is serving provenance: run identity unchanged.
+            assert job.manifest.digest() == primary.manifest.digest()
+        # ...and the books agree.
+        assert queue.metrics.value("service.jobs_submitted") == N + 2
+        assert queue.metrics.value("service.jobs_coalesced") == N - 1
+        assert queue.metrics.value("service.jobs_completed") == N + 2
+
+    def test_attach_while_running_still_coalesces(self):
+        started = threading.Event()
+        release = threading.Event()
+        holder = {}
+
+        def blocking_runner(points):
+            started.set()
+            assert release.wait(timeout=60)
+            holder["queue"].context.simulate_many(list(points))
+
+        async def main():
+            queue = JobQueue(runner=blocking_runner)
+            holder["queue"] = queue
+            await queue.start()
+            first = await queue.submit(POINT)
+            await asyncio.to_thread(started.wait, 60)
+            # The batch is now executing; this submission must attach
+            # to the in-flight run, not enqueue a second simulation.
+            late = await queue.submit(POINT)
+            assert queue.status(late)["status"] == jb.RUNNING
+            release.set()
+            jobs = [await queue.result(j, timeout=300)
+                    for j in (first, late)]
+            await queue.close()
+            return queue, jobs
+
+        queue, (primary, attached) = run(main())
+        assert queue.context.metrics.value("sim.runs") == 1
+        assert attached.coalesced_into == primary.job_id
+        assert attached.manifest.coalesced
+        assert attached.result == primary.result
+
+    def test_cache_served_fast_path(self, tmp_path):
+        async def main():
+            ctx = ExperimentContext(cache_dir=tmp_path / "cache")
+            queue = await _started_queue(context=ctx)
+            first = await queue.result(await queue.submit(POINT),
+                                       timeout=300)
+            again = await queue.result(await queue.submit(POINT),
+                                       timeout=10)
+            await queue.close()
+            return queue, first, again
+
+        queue, first, again = run(main())
+        assert not first.manifest.from_cache
+        assert again.status == jb.DONE
+        assert again.manifest.from_cache
+        assert again.result == first.result
+        assert queue.metrics.value("service.cache_served") == 1
+        assert queue.context.metrics.value("sim.runs") == 1
+
+
+# ----------------------------------------------------------------------
+# Queue mechanics
+# ----------------------------------------------------------------------
+class TestQueueMechanics:
+    def test_priority_order(self):
+        order = []
+        gate = threading.Event()
+
+        def recording_runner(points):
+            if not gate.is_set():  # first batch: wait to pile up work
+                gate.wait(timeout=60)
+            order.extend(points)
+
+        async def main():
+            queue = JobQueue(runner=recording_runner, batch_limit=1)
+            await queue.start()
+            filler = await queue.submit(POINT)
+            low = await queue.submit(OTHER, priority=0)
+            high = await queue.submit(THIRD, priority=5)
+            gate.set()
+            for job_id in (filler, low, high):
+                await queue.result(job_id, timeout=60)
+            await queue.close()
+
+        run(main())
+        # The high-priority point overtook the earlier low one.
+        assert order.index(THIRD) < order.index(OTHER)
+
+    def test_cancel_queued_job(self):
+        async def main():
+            queue = JobQueue()  # never started: jobs stay queued
+            job_id = await queue.submit(POINT)
+            assert await queue.cancel(job_id) is True
+            job = await queue.result(job_id, timeout=5)
+            assert job.status == jb.CANCELLED
+            # Terminal jobs cannot be re-cancelled.
+            assert await queue.cancel(job_id) is False
+            assert queue.metrics.value("service.jobs_cancelled") == 1
+            await queue.close()
+
+        run(main())
+
+    def test_cancel_primary_promotes_waiter(self):
+        async def main():
+            queue = JobQueue()
+            first = await queue.submit(POINT)
+            second = await queue.submit(POINT)
+            assert queue.status(second)["coalesced_into"] == first
+            assert await queue.cancel(first) is True
+            # The survivor is primary now.
+            assert queue.status(second)["coalesced_into"] is None
+            await queue.start()
+            job = await queue.result(second, timeout=300)
+            await queue.close()
+            return job
+
+        job = run(main())
+        assert job.status == jb.DONE
+        assert not job.manifest.coalesced
+
+    def test_invalid_submissions_rejected(self):
+        async def main():
+            queue = JobQueue()
+            with pytest.raises(ServiceError):
+                await queue.submit(("sparsepipe", "pr"))  # not a 3-tuple
+            with pytest.raises(ServiceError):
+                await queue.submit(("sparsepipe", "nope", "gy"))
+            with pytest.raises(ServiceError):
+                await queue.submit(("sparsepipe", "pr", "nope"))
+            with pytest.raises(ServiceError):
+                queue.status("job-999999")
+            await queue.close()
+
+        run(main())
+
+    def test_batch_failure_surfaces_per_job(self):
+        def exploding_runner(points):
+            raise RuntimeError("simulator caught fire")
+
+        async def main():
+            queue = JobQueue(runner=exploding_runner)
+            await queue.start()
+            job_id = await queue.submit(POINT)
+            job = await queue.result(job_id, timeout=60)
+            await queue.close()
+            return queue, job
+
+        queue, job = run(main())
+        assert job.status == jb.FAILED
+        assert "simulator caught fire" in job.error
+        assert job.result is None
+        assert queue.metrics.value("service.jobs_failed") == 1
+
+    def test_closed_queue_rejects_submissions(self):
+        async def main():
+            queue = JobQueue()
+            await queue.close()
+            with pytest.raises(ServiceError):
+                await queue.submit(POINT)
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# Spool / crash recovery
+# ----------------------------------------------------------------------
+class TestSpoolRecovery:
+    def test_unfinished_jobs_reenqueue_on_restart(self, tmp_path):
+        spool_dir = tmp_path / "spool"
+
+        async def crash_phase():
+            # Never started: submissions reach the spool but no
+            # dispatcher ever runs them — a crash before execution.
+            queue = JobQueue(spool_dir=spool_dir)
+            one = await queue.submit(POINT)
+            two = await queue.submit(POINT)       # coalesces onto one
+            three = await queue.submit(OTHER, priority=3)
+            queue._executor.shutdown(wait=False)  # die without close()
+            return one, two, three
+
+        one, two, three = run(crash_phase())
+        docs = Spool(spool_dir).load()
+        assert [d["job_id"] for d in docs] == [one, two, three]
+        assert all(d["status"] == jb.QUEUED for d in docs)
+
+        async def recovery_phase():
+            queue = JobQueue(spool_dir=spool_dir)
+            await queue.start()
+            jobs = [await queue.result(j, timeout=300)
+                    for j in (one, two, three)]
+            # The id counter resumed past the spool: no reuse.
+            fresh = await queue.submit(THIRD)
+            await queue.result(fresh, timeout=300)
+            await queue.close()
+            return queue, jobs, fresh
+
+        queue, jobs, fresh = run(recovery_phase())
+        assert [job.status for job in jobs] == [jb.DONE] * 3
+        assert jobs[1].coalesced_into == jobs[0].job_id
+        assert jobs[1].result == jobs[0].result
+        assert jb.Job(job_id=fresh, point=THIRD).seq > 3
+        assert queue.metrics.value("service.jobs_recovered") == 3
+
+    def test_terminal_jobs_are_not_recovered(self, tmp_path):
+        spool_dir = tmp_path / "spool"
+        spool = Spool(spool_dir)
+        spool.write(jb.Job(job_id=jb.job_id_for(1), point=POINT,
+                           status=jb.DONE))
+        spool.write(jb.Job(job_id=jb.job_id_for(2), point=POINT,
+                           status=jb.CANCELLED))
+        (spool_dir / "job-000001.json.999.0.tmp").write_text("{torn")
+
+        async def main():
+            queue = JobQueue(spool_dir=spool_dir)
+            await queue.start()
+            depth = queue.depth()
+            await queue.join(timeout=10)
+            await queue.close()
+            return depth
+
+        assert run(main()) == 0
+        assert list(spool_dir.glob("*.tmp")) == []  # debris swept
+
+    def test_spool_records_update_across_lifecycle(self, tmp_path):
+        spool_dir = tmp_path / "spool"
+
+        async def main():
+            queue = await _started_queue(spool_dir=spool_dir)
+            job_id = await queue.submit(POINT)
+            await queue.result(job_id, timeout=300)
+            await queue.close()
+            return job_id
+
+        job_id = run(main())
+        (doc,) = Spool(spool_dir).load()
+        assert doc["job_id"] == job_id
+        assert doc["status"] == jb.DONE
+        assert doc["manifest"]["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# Daemon + client, end to end
+# ----------------------------------------------------------------------
+class TestDaemonEndToEnd:
+    def test_full_client_session(self, tmp_path):
+        ctx = ExperimentContext(cache_dir=tmp_path / "cache",
+                                cache_max_bytes=1 << 22)
+        with BackgroundDaemon(context=ctx,
+                              spool_dir=tmp_path / "spool") as bg:
+            client = ServiceClient(port=bg.port, timeout_s=300.0)
+            assert client.ping()
+
+            points = [list(POINT), list(POINT), list(OTHER)]
+            job_ids = client.submit_many(points)
+            docs = client.wait_all(job_ids, timeout_s=300.0)
+            assert [d["status"] for d in docs] == [jb.DONE] * 3
+            assert docs[1]["coalesced_into"] == docs[0]["job_id"]
+            assert docs[1]["manifest"]["coalesced"] is True
+            assert docs[0]["result"] == docs[1]["result"]
+
+            # Resubmit: a warm hit, no new simulation.
+            again = client.result(client.submit(list(POINT)),
+                                  timeout_s=60.0)
+            assert again["status"] == jb.DONE
+            assert again["manifest"]["from_cache"] is True
+
+            stats = client.stats()
+            assert stats["depth"] == 0
+            assert stats["jobs"] == {jb.DONE: 4}
+            counters = stats["metrics"]
+            assert counters["service.jobs_submitted"]["value"] == 4
+            assert counters["service.jobs_coalesced"]["value"] == 1
+            assert counters["service.cache_served"]["value"] == 1
+            assert counters["sim.runs"]["value"] == 2
+
+            status = client.status(job_ids[0])
+            assert status["status"] == jb.DONE
+            assert "result" not in status  # status is the light doc
+
+            with pytest.raises(ServiceError):
+                client.status("job-424242")
+            with pytest.raises(ServiceError):
+                client.submit(["sparsepipe", "nope", "gy"])
+            client.shutdown()
+        # Spool survives the daemon for post-mortems.
+        docs = Spool(tmp_path / "spool").load()
+        assert len(docs) == 4
+
+    def test_client_errors_without_daemon(self):
+        with pytest.raises(ServiceError):
+            ServiceClient(port=0)
+        client = ServiceClient(port=1, timeout_s=0.5)  # nothing listens
+        with pytest.raises(ServiceError):
+            client.ping()
+
+    def test_unknown_op_is_clean_protocol_error(self, tmp_path):
+        with BackgroundDaemon(spool_dir=tmp_path / "spool") as bg:
+            client = ServiceClient(port=bg.port)
+            with pytest.raises(ServiceError, match="unknown op"):
+                client.request("frobnicate")
+            client.shutdown()
