@@ -13,10 +13,16 @@ Commands
   bounds and OEI legality cross-checked against the simulator
 - ``trace <workload> -o t.json``— export a Chrome/Perfetto trace plus
   run manifest of one simulated run (load in https://ui.perfetto.dev)
+- ``sweep A/W/M [...]``         — supervised sweep over explicit
+  (arch/workload/matrix) points with per-point status reporting
+- ``autotune -w pr -m gy``      — explore sub-tensor widths (Section
+  IV-F), optionally fanning the probes out over a scheduler backend
 - ``serve``                     — simulation-service daemon: async job
   queue with request coalescing over the shared result store
 - ``client <op> [...]``         — talk to a running daemon (submit /
   status / result / cancel / stats / shutdown); see docs/service.md
+- ``worker <jobfile>``          — execute one spool-scheduler job file
+  (spawned by the ``spool`` backend; docs/scheduling.md)
 
 ``lint``/``selfcheck`` take ``--format text|json`` and ``--baseline
 FILE`` (a per-code finding budget; exceeding it fails the command even
@@ -25,7 +31,8 @@ for warnings, so new findings cannot accumulate silently — CI pins
 worker processes; ``--cache DIR`` persists simulation results on disk
 so reruns skip straight to the tables; ``--on-error skip|retry`` keeps
 a sweep alive through per-point failures (recorded in run manifests —
-docs/robustness.md).
+docs/robustness.md); ``--scheduler inprocess|localpool|spool`` picks
+the execution substrate the fan-out runs on (docs/scheduling.md).
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ def _make_context(args: argparse.Namespace) -> ExperimentContext:
         cache_max_bytes=getattr(args, "cache_bytes", None),
         max_workers=getattr(args, "jobs", None),
         on_error=getattr(args, "on_error", "raise") or "raise",
+        scheduler=getattr(args, "scheduler", None),
     )
 
 
@@ -294,6 +302,82 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_points(specs: List[str]) -> List[tuple]:
+    points = []
+    for spec in specs:
+        parts = tuple(spec.split("/"))
+        if len(parts) != 3:
+            raise SystemExit(
+                f"a sweep point is ARCH/WORKLOAD/MATRIX, got {spec!r}")
+        points.append(parts)
+    return points
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Supervised sweep over explicit points, reporting per-point
+    status from the run manifests (docs/robustness.md)."""
+    from repro.experiments.report import format_table
+
+    context = _make_context(args)
+    points = _parse_points(args.points)
+    results = context.simulate_many(points)
+    rows = []
+    failed = 0
+    for point, result in zip(points, results):
+        manifest = context.manifest(*point)
+        status = manifest.status if manifest is not None else "unknown"
+        failed += result is None
+        rows.append((
+            "/".join(point), status,
+            "-" if result is None else round(result.cycles),
+            "-" if result is None else f"{result.total_bytes / 1e6:.2f}",
+        ))
+    print(format_table(
+        ["point", "status", "cycles", "DRAM (MB)"], rows,
+        title=f"sweep ({len(points)} point(s))",
+    ))
+    if args.metrics:
+        print()
+        print(context.metrics_report())
+    return 1 if failed else 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    """Section IV-F sub-tensor width exploration, with the candidate
+    probes optionally fanned out over a scheduler backend."""
+    from repro.arch.autotune import DEFAULT_CANDIDATES, autotune_subtensor_cols
+    from repro.matrices import SUITE
+
+    context = _make_context(args)
+    candidates = (tuple(int(c) for c in args.candidates.split(","))
+                  if args.candidates else DEFAULT_CANDIDATES)
+    profile = context.profile(args.workload, args.matrix)
+    prep = context.prepared(args.matrix)
+    best, result = autotune_subtensor_cols(
+        profile, prep,
+        candidates=candidates,
+        paper_nnz=SUITE[args.matrix].paper_nnz,
+        probe_iterations=args.probe_iterations,
+        arch=args.arch,
+        scheduler=args.scheduler,
+        max_workers=args.jobs,
+    )
+    print(f"{args.workload} on {args.matrix} ({args.arch}): "
+          f"best sub-tensor width {best} "
+          f"(candidates {', '.join(str(c) for c in candidates)})")
+    print(f"full run at width {best}: {round(result.cycles)} cycles, "
+          f"{result.total_bytes / 1e6:.2f} MB DRAM")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Spool-scheduler worker: execute one job file and write its
+    verdict beside it (spawned by the spool backend, not by hand)."""
+    from repro.scheduler.spool import run_worker
+
+    return run_worker(args.job_file)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -317,6 +401,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             endpoint_file=args.endpoint_file,
             sim_workers=args.jobs,
             on_error=args.on_error if args.on_error != "raise" else "retry",
+            scheduler=args.scheduler,
             announce=announce,
         ))
     except KeyboardInterrupt:
@@ -421,6 +506,14 @@ def _add_context_flags(parser: argparse.ArgumentParser) -> None:
              "skip (record failure, continue), or retry (bounded "
              "re-attempts, then skip); see docs/robustness.md",
     )
+    parser.add_argument(
+        "--scheduler", choices=("inprocess", "localpool", "spool"),
+        default=None,
+        help="execution backend for sweep fan-outs: inprocess (serial, "
+             "deterministic), localpool (process pool), or spool "
+             "(subprocess-per-job over a spool directory); default: "
+             "pool when --jobs > 1, serial otherwise (docs/scheduling.md)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -498,6 +591,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--seed", type=int, default=0,
                       help="seed recorded in the run manifest")
 
+    p_sw = sub.add_parser(
+        "sweep", help="supervised sweep over explicit points"
+    )
+    p_sw.add_argument("points", nargs="+", metavar="ARCH/WORKLOAD/MATRIX",
+                      help="e.g. sparsepipe/pr/gy")
+    p_sw.add_argument("--metrics", action="store_true",
+                      help="print the sweep-wide metrics registry too")
+    _add_context_flags(p_sw)
+
+    p_at = sub.add_parser(
+        "autotune", help="explore sub-tensor widths (Section IV-F)"
+    )
+    p_at.add_argument("-w", "--workload", required=True)
+    p_at.add_argument("-m", "--matrix", required=True)
+    p_at.add_argument("-a", "--arch", default="sparsepipe",
+                      help="architecture to tune (default: sparsepipe)")
+    p_at.add_argument("--candidates", default=None, metavar="W1,W2,...",
+                      help="comma-separated candidate widths "
+                           "(default: 32,64,128,256,512)")
+    p_at.add_argument("--probe-iterations", type=int, default=2,
+                      dest="probe_iterations",
+                      help="iterations charged per candidate probe "
+                           "(default: 2)")
+    _add_context_flags(p_at)
+
+    p_wk = sub.add_parser(
+        "worker", help="execute one spool-scheduler job file"
+    )
+    p_wk.add_argument("job_file", help="path to a <job_id>.job file")
+
     p_srv = sub.add_parser(
         "serve", help="simulation-service daemon (docs/service.md)"
     )
@@ -572,6 +695,9 @@ def main(argv: List[str] = None) -> int:
         "selfcheck": _cmd_selfcheck,
         "check": _cmd_check,
         "trace": _cmd_trace,
+        "sweep": _cmd_sweep,
+        "autotune": _cmd_autotune,
+        "worker": _cmd_worker,
         "serve": _cmd_serve,
         "client": _cmd_client,
         "summary": _cmd_summary,

@@ -230,6 +230,12 @@ for _s in (
               "time.sleep polling with event/timeout waits and give "
               "every Future.result()/join a timeout so a hung worker "
               "cannot hang the sweep"),
+        _spec("SP914", "pool-outside-scheduler-backend", Severity.ERROR,
+              "ProcessPoolExecutor is an execution substrate and lives "
+              "behind the scheduler protocol; only the localpool "
+              "backend (scheduler/localpool.py) may name it — go "
+              "through repro.scheduler (create_scheduler/run_fanout) "
+              "instead"),
     ):
     register_code(_s)
 del _s

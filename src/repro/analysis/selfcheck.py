@@ -44,10 +44,15 @@ The **SP91x concurrency-safety family** targets the service arc
   that writes a file but never renames one can expose a torn file to
   a concurrent reader. (``resilience/faults.py`` is exempt — its
   chaos hooks corrupt files *by design*.)
-- **SP913** — supervisor code (``resilience/``, ``engine/parallel``)
-  must not block unboundedly: ``time.sleep`` polling and no-timeout
-  ``Future.result()`` calls can hang an entire sweep behind one dead
-  worker.
+- **SP913** — supervisor code (``resilience/``, ``engine/parallel``,
+  ``service/``, ``scheduler/``) must not block unboundedly:
+  ``time.sleep`` polling and no-timeout ``Future.result()`` calls can
+  hang an entire sweep behind one dead worker.
+- **SP914** — ``ProcessPoolExecutor`` is an execution substrate and
+  belongs behind the scheduler protocol: only the ``localpool``
+  backend (``scheduler/localpool.py``) may name it. ``supervised_map``
+  / ``simulate_many`` / ``JobQueue`` stay backend-agnostic — code that
+  wants a pool goes through :mod:`repro.scheduler`.
 
 Run it with ``python -m repro selfcheck`` (wired into CI's lint job).
 """
@@ -75,7 +80,8 @@ REFERENCE_BACKEND = "arch/simulator.py"
 
 #: Packages whose module-global state ends up captured in pool workers
 #: (SP911) and whose files are read concurrently (SP912).
-SERVICE_ARC_PACKAGES = ("engine", "resilience", "experiments", "service")
+SERVICE_ARC_PACKAGES = ("engine", "resilience", "experiments", "service",
+                        "scheduler")
 
 #: Function-name markers that identify sanctioned global mutators:
 #: pool initializers (``_init_worker_context``), arming/disarming hooks
@@ -84,7 +90,12 @@ SERVICE_ARC_PACKAGES = ("engine", "resilience", "experiments", "service")
 INITIALIZER_MARKERS = ("init", "worker", "install", "ensure", "boot")
 
 #: Supervisor-side modules that must never block unboundedly (SP913).
-SUPERVISOR_PATHS = ("resilience/", "engine/parallel.py", "service/")
+SUPERVISOR_PATHS = ("resilience/", "engine/parallel.py", "service/",
+                    "scheduler/")
+
+#: The one module allowed to name ProcessPoolExecutor — the pool
+#: substrate behind the scheduler protocol (SP914).
+POOL_BACKEND = "scheduler/localpool.py"
 
 #: Calls that introduce nondeterminism when they appear in a hot path.
 _CLOCK_CALLS = {
@@ -407,6 +418,32 @@ def _check_blocking_waits(ctx: ModuleContext, report: DiagnosticReport) -> None:
                        f"{ctx.rel}:{node.lineno}")
 
 
+# ----------------------------------------------------------------------
+# SP914: ProcessPoolExecutor confined to the localpool backend
+# ----------------------------------------------------------------------
+def _check_pool_confinement(
+    ctx: ModuleContext, report: DiagnosticReport
+) -> None:
+    for node in ctx.nodes:
+        if isinstance(node, ast.Name) and node.id == "ProcessPoolExecutor":
+            lineno = node.lineno
+        elif (isinstance(node, ast.Attribute)
+                and node.attr == "ProcessPoolExecutor"):
+            lineno = node.lineno
+        elif (isinstance(node, (ast.Import, ast.ImportFrom))
+                and any(alias.name == "ProcessPoolExecutor"
+                        for alias in node.names)):
+            lineno = node.lineno
+        else:
+            continue
+        report.add("SP914",
+                   "names ProcessPoolExecutor outside the localpool "
+                   f"backend ({POOL_BACKEND}); execution substrates live "
+                   "behind the scheduler protocol — use "
+                   "repro.scheduler.create_scheduler/run_fanout",
+                   f"{ctx.rel}:{lineno}")
+
+
 #: Every registered self-lint pass, in execution order.
 PASSES: Tuple[SelfCheckPass, ...] = (
     SelfCheckPass("SP901", "forbidden-import", _check_imports),
@@ -425,6 +462,9 @@ PASSES: Tuple[SelfCheckPass, ...] = (
                   exclude=("resilience/faults.py",)),
     SelfCheckPass("SP913", "blocking-supervisor-wait", _check_blocking_waits,
                   include=SUPERVISOR_PATHS),
+    SelfCheckPass("SP914", "pool-outside-scheduler-backend",
+                  _check_pool_confinement,
+                  exclude=(POOL_BACKEND,)),
 )
 
 

@@ -1,4 +1,4 @@
-"""Order-preserving process-pool fan-out for simulation sweeps.
+"""Order-preserving fan-out for simulation sweeps.
 
 :func:`parallel_map` is the plain pool primitive: it preserves input
 order (results are deterministic and bit-identical to the serial path
@@ -10,31 +10,22 @@ execution when the host cannot create a pool (restricted sandboxes),
 when parallelism would not pay (one item, one worker), or when the
 pool dies mid-run (a worker OOM-killed: ``BrokenProcessPool``).
 
-For per-item retry policies, partial-sweep accounting, and watchdog
-timeouts, use the supervised sibling,
-:func:`repro.resilience.supervisor.supervised_map`.
+The pool itself now lives behind the scheduler protocol
+(:mod:`repro.scheduler.localpool`); this module keeps the historical
+list-in/list-out surface on top of it. For per-item retry policies,
+partial-sweep accounting, and watchdog timeouts, use the supervised
+sibling, :func:`repro.resilience.supervisor.supervised_map`.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+# Re-exported: the chunking heuristic moved next to the pool backend.
+from repro.scheduler.localpool import LocalPoolScheduler, pool_chunksize  # noqa: F401,E501
 
 T = TypeVar("T")
 R = TypeVar("R")
-
-
-def pool_chunksize(n_items: int, max_workers: Optional[int]) -> int:
-    """Chunk size giving each worker ~2 chunks for tail-balancing.
-
-    ``ProcessPoolExecutor`` defaults ``max_workers`` to
-    ``os.cpu_count()``, so that — not a guess from the item count — is
-    the worker count the heuristic must divide by.
-    """
-    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
-    return max(1, -(-n_items // (max(1, workers) * 2)))
 
 
 def serial_map(
@@ -63,21 +54,21 @@ def parallel_map(
     ``max_workers`` <= 1, fewer than two items, a pool that cannot be
     created, or a pool that breaks mid-run (a worker killed by the
     OS), runs serially in-process — the results are identical either
-    way.
+    way. An item exception propagates (the historical contract); use
+    ``supervised_map`` for richer policies.
     """
     items = list(items)
     if len(items) <= 1 or (max_workers is not None and max_workers <= 1):
         return serial_map(fn, items, initializer, initargs)
-    if chunksize is None:
-        chunksize = pool_chunksize(len(items), max_workers)
+    from repro.scheduler.base import run_fanout
+    scheduler = LocalPoolScheduler(
+        max_workers=max_workers,
+        initializer=initializer,
+        initargs=initargs,
+        chunksize=chunksize,
+    )
     try:
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=initializer,
-            initargs=tuple(initargs),
-        ) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
-    except (OSError, PermissionError, ValueError, BrokenProcessPool):
-        # No semaphores / fork denied / a worker died mid-sweep:
-        # same results, one process.
-        return serial_map(fn, items, initializer, initargs)
+        outcome = run_fanout(scheduler, fn, items, on_error="raise")
+    finally:
+        scheduler.shutdown()
+    return outcome.results

@@ -49,6 +49,7 @@ from repro.resilience.supervisor import (
     FanoutOutcome,
     supervised_map,
 )
+from repro.scheduler.base import is_distributed
 from repro.graphblas.matrix import Matrix
 from repro.matrices.suite import SUITE, load_suite_matrix, suite_names
 from repro.obs.manifest import RunManifest, Stopwatch, build_manifest
@@ -105,6 +106,11 @@ class ExperimentContext:
     on_error: str = "raise"
     retries: int = DEFAULT_RETRIES
     timeout_s: Optional[float] = None
+    #: Scheduler backend name for :meth:`simulate_many` fan-outs
+    #: (``"inprocess"`` | ``"localpool"`` | ``"spool"``); ``None``
+    #: keeps the historical heuristic — a local pool when both
+    #: ``max_workers`` and the missing-point count exceed one.
+    scheduler: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.on_error not in POLICIES:
@@ -112,6 +118,8 @@ class ExperimentContext:
 
             raise ConfigError(
                 f"on_error must be one of {POLICIES}, got {self.on_error!r}")
+        if self.scheduler is not None:
+            is_distributed(self.scheduler)  # ConfigError on unknown names
         self._preps: Dict[Tuple, PreprocessResult] = {}
         self._graphblas: Dict[str, Matrix] = {}
         self._profiles: Dict[Tuple[str, str], WorkloadProfile] = {}
@@ -371,6 +379,7 @@ class ExperimentContext:
         block_size: object = "default",
         max_workers: Optional[int] = None,
         on_error: Optional[str] = None,
+        scheduler: Optional[str] = None,
     ) -> List[Optional[SimResult]]:
         """Simulate many ``(arch, workload, matrix)`` points at once.
 
@@ -390,6 +399,13 @@ class ExperimentContext:
         re-attempts up to ``self.retries`` times first) record a
         ``status="failed"`` manifest and leave ``None`` in the failed
         point's result slot, so partial sweeps are first-class.
+
+        ``scheduler`` (default: the context's) picks the execution
+        substrate by backend name — ``"inprocess"``, ``"localpool"``,
+        or ``"spool"`` (``docs/scheduling.md``); ``None`` keeps the
+        historical heuristic. The policy layer, fault semantics, and
+        results are identical on every backend; ``scheduler.*``
+        counters land in :attr:`metrics` either way.
         """
         points = [tuple(p) for p in points]
         for arch, _, _ in points:
@@ -426,8 +442,13 @@ class ExperimentContext:
             missing.append(point)
 
         if missing:
+            backend = self.scheduler if scheduler is None else scheduler
             workers = self.max_workers if max_workers is None else max_workers
-            if workers is not None and workers > 1 and len(missing) > 1:
+            distributed = (
+                is_distributed(backend) if backend is not None
+                else workers is not None and workers > 1 and len(missing) > 1
+            )
+            if distributed:
                 # Group by matrix so per-worker chunks reuse the
                 # materialized matrix, profile, and preprocessing.
                 ordered = sorted(missing, key=lambda p: (p[2], p[1], p[0]))
@@ -441,6 +462,8 @@ class ExperimentContext:
                     retries=self.retries,
                     timeout_s=self.timeout_s,
                     labels=["/".join(p) for p in ordered],
+                    scheduler=backend,
+                    metrics=self.metrics,
                 )
             else:
                 ordered = missing
@@ -455,6 +478,8 @@ class ExperimentContext:
                     retries=self.retries,
                     timeout_s=self.timeout_s,
                     labels=["/".join(p) for p in ordered],
+                    scheduler="inprocess" if backend is not None else None,
+                    metrics=self.metrics,
                 )
             self._absorb_outcome(outcome, ordered, cfg, reorder, block_size)
         return [self._results.get(key) for key in keys]

@@ -1,13 +1,13 @@
-"""Supervised process-pool fan-out: the resilient sibling of
-:func:`repro.engine.parallel.parallel_map`.
+"""Supervised fan-out: the resilient sibling of
+:func:`repro.engine.parallel.parallel_map`, now scheduler-backed.
 
 :func:`supervised_map` keeps a sweep alive through the failures that
 used to kill it:
 
-- **Worker death** (OOM killer, segfault): ``BrokenProcessPool`` is
-  caught, the completed prefix is kept, an ``SP601`` diagnostic is
-  recorded, and the remaining items degrade to supervised in-process
-  execution — one dead worker no longer costs a 495-point sweep.
+- **Worker death** (OOM killer, segfault): the substrate records an
+  ``SP601`` diagnostic, the completed prefix is kept, and the
+  remaining items degrade to supervised in-process execution — one
+  dead worker no longer costs a 495-point sweep.
 - **Item exceptions**: governed by ``on_error`` — ``"raise"``
   (propagate, the historical behavior), ``"skip"`` (record an
   ``SP603`` failure, leave ``None`` in that slot), or ``"retry"``
@@ -18,6 +18,14 @@ used to kill it:
   in-process attempts; expiry raises
   :class:`~repro.errors.WatchdogTimeout` carrying ``SP606``.
 
+The policy machinery itself lives in
+:func:`repro.scheduler.base.run_fanout`; this module only picks (or
+accepts) an execution substrate. ``scheduler`` selects the backend by
+registry name (``"inprocess"`` / ``"localpool"`` / ``"spool"``) or
+accepts a live :class:`~repro.scheduler.base.Scheduler`; by default
+the historical heuristic applies — a process pool when there is more
+than one item and more than one worker, serial in-process otherwise.
+
 The outcome is structured (:class:`FanoutOutcome`): per-slot results,
 per-item failure records, retry diagnostics by index, and the global
 degradation diagnostics — everything the caller needs to record
@@ -26,101 +34,30 @@ partial sweeps as first-class results.
 
 from __future__ import annotations
 
-import threading
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import (
-    Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar,
-)
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar, Union
 
-from repro.engine.parallel import pool_chunksize
-from repro.errors import Diagnostic, WatchdogTimeout
-from repro.resilience import faults
+# Re-exported: these types now live with the policy layer in
+# repro.scheduler.base, but their historical home is this module.
+from repro.scheduler.base import (  # noqa: F401
+    DEFAULT_RETRIES,
+    POLICIES,
+    FanoutOutcome,
+    PointFailure,
+    Scheduler,
+    _call_with_watchdog,
+    create_scheduler,
+    run_fanout,
+)
 
 T = TypeVar("T")
 
-#: Valid ``on_error`` policies.
-POLICIES = ("raise", "skip", "retry")
-
-#: Default bounded re-attempts under ``on_error="retry"``.
-DEFAULT_RETRIES = 2
-
-
-@dataclass(frozen=True)
-class PointFailure:
-    """One item that exhausted its attempts."""
-
-    index: int
-    item: Any
-    error: str
-    attempts: int
-    diagnostic: Diagnostic
-
-
-@dataclass
-class FanoutOutcome:
-    """Everything one supervised fan-out produced."""
-
-    #: Per-input-slot results; ``None`` where the item failed.
-    results: List[Any] = field(default_factory=list)
-    #: Items that exhausted their attempts (empty under ``"raise"``).
-    failures: List[PointFailure] = field(default_factory=list)
-    #: Retry diagnostics (SP602) by item index — non-empty entries mean
-    #: the item eventually succeeded but not on its first attempt.
-    retried: Dict[int, List[Diagnostic]] = field(default_factory=dict)
-    #: Fan-out-wide diagnostics (SP601 pool breaks).
-    diagnostics: List[Diagnostic] = field(default_factory=list)
-    #: True when the process pool died and the tail ran in-process.
-    pool_broken: bool = False
-
-    @property
-    def ok(self) -> bool:
-        return not self.failures
-
-    def failed_indices(self) -> Dict[int, PointFailure]:
-        return {f.index: f for f in self.failures}
-
-
-def _worker_boot(initializer, initargs, plan) -> None:
-    """Pool-worker initializer: mark the process as a worker (arms
-    ``worker_death`` faults), install the parent's fault plan (fork
-    inherits it, spawn would not), then run the caller's init."""
-    faults.mark_worker()
-    if plan is not None:
-        faults.install(plan)
-    if initializer is not None:
-        initializer(*initargs)
-
-
-def _call_with_watchdog(fn: Callable[[T], Any], item: T,
-                        timeout_s: Optional[float]) -> Any:
-    """Run one item, bounded by a watchdog thread when ``timeout_s``
-    is set. A timed-out attempt raises :class:`WatchdogTimeout`; the
-    stuck thread is a daemon and cannot block interpreter exit."""
-    if timeout_s is None:
-        return fn(item)
-    box: Dict[str, Any] = {}
-
-    def target() -> None:
-        try:
-            box["result"] = fn(item)
-        except BaseException as exc:  # re-raised in the caller below
-            box["error"] = exc
-
-    thread = threading.Thread(target=target, daemon=True)
-    thread.start()
-    thread.join(timeout_s)
-    if thread.is_alive():
-        raise WatchdogTimeout(
-            f"item exceeded the {timeout_s}s watchdog budget",
-            diagnostics=(Diagnostic.error(
-                "SP606", f"watchdog expired after {timeout_s}s",
-            ),),
-        )
-    if "error" in box:
-        raise box["error"]
-    return box["result"]
+__all__ = [
+    "DEFAULT_RETRIES",
+    "POLICIES",
+    "FanoutOutcome",
+    "PointFailure",
+    "supervised_map",
+]
 
 
 def supervised_map(
@@ -134,100 +71,41 @@ def supervised_map(
     retries: int = DEFAULT_RETRIES,
     timeout_s: Optional[float] = None,
     labels: Optional[Sequence[str]] = None,
+    scheduler: Optional[Union[str, Scheduler]] = None,
+    metrics=None,
 ) -> FanoutOutcome:
     """Map ``fn`` over ``items`` with supervision; see module docs.
 
     Order-preserving and, for pure ``fn``, bit-identical to a serial
-    run regardless of which degradation paths fire. ``labels`` (same
-    length as ``items``) name items in diagnostics; defaults to the
-    item's ``repr``. The watchdog applies to in-process attempts (the
-    pool path cannot kill a hung worker without killing its siblings).
+    run regardless of backend or which degradation paths fire.
+    ``labels`` (same length as ``items``) name items in diagnostics;
+    defaults to the item's ``repr``. The watchdog applies to
+    in-process attempts (a pool cannot kill a hung worker without
+    killing its siblings). A ``Scheduler`` instance passed as
+    ``scheduler`` is left open for the caller; a backend *name* (or
+    the default heuristic) creates a scheduler owned — and shut down —
+    here. ``metrics`` receives the ``scheduler.*`` counters.
     """
     if on_error not in POLICIES:
         raise ValueError(
             f"on_error must be one of {POLICIES}, got {on_error!r}")
     items = list(items)
-    outcome = FanoutOutcome(results=[None] * len(items))
-    done = 0
-    use_pool = len(items) > 1 and (max_workers is None or max_workers > 1)
-    if use_pool:
-        done = _pool_pass(fn, items, outcome, max_workers, initializer,
-                          initargs, chunksize)
-        if done >= len(items):
-            return outcome
-    if initializer is not None:
-        initializer(*initargs)
-    for index in range(done, len(items)):
-        label = labels[index] if labels else repr(items[index])
-        _run_item(fn, items[index], index, label, outcome,
-                  on_error, retries, timeout_s)
-    return outcome
-
-
-def _pool_pass(fn, items, outcome, max_workers, initializer, initargs,
-               chunksize) -> int:
-    """Fill ``outcome.results`` from a process pool until the pool
-    breaks, an item raises, or everything completes. Returns how many
-    leading slots hold results; the caller finishes the rest
-    in-process."""
-    if chunksize is None:
-        chunksize = pool_chunksize(len(items), max_workers)
-    done = 0
-    try:
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_worker_boot,
-            initargs=(initializer, tuple(initargs), faults.active_plan()),
-        ) as pool:
-            results = pool.map(fn, items, chunksize=chunksize)
-            try:
-                for index in range(len(items)):
-                    outcome.results[index] = next(results)
-                    done = index + 1
-            except BrokenProcessPool:
-                outcome.pool_broken = True
-                outcome.diagnostics.append(Diagnostic.warning(
-                    "SP601",
-                    f"process pool broke after {done}/{len(items)} "
-                    "item(s) (worker killed?); completing the sweep "
-                    "serially in-process",
-                ))
-            except Exception:
-                # A worker raised fn's own exception; the chunked map
-                # iterator is dead, so the tail (including the failing
-                # item) re-runs in-process under the on_error policy.
-                pass
-    except (OSError, PermissionError, ValueError):
-        # No semaphores / fork denied: silent in-process degrade,
-        # mirroring parallel_map.
-        return 0
-    return done
-
-
-def _run_item(fn, item, index, label, outcome, on_error, retries,
-              timeout_s) -> None:
-    attempts = 1 + (retries if on_error == "retry" else 0)
-    last: Optional[BaseException] = None
-    for attempt in range(attempts):
-        try:
-            outcome.results[index] = _call_with_watchdog(fn, item, timeout_s)
-            return
-        except Exception as exc:
-            last = exc
-            if attempt + 1 < attempts:
-                outcome.retried.setdefault(index, []).append(
-                    Diagnostic.warning(
-                        "SP602",
-                        f"attempt {attempt + 1}/{attempts} failed "
-                        f"({exc}); retrying", label,
-                    ))
-    if on_error == "raise":
-        raise last
-    diag = Diagnostic.error(
-        "SP603",
-        f"failed after {attempts} attempt(s): {last}", label,
+    if isinstance(scheduler, Scheduler):
+        return run_fanout(scheduler, fn, items, on_error=on_error,
+                          retries=retries, labels=labels, metrics=metrics)
+    if scheduler is None:
+        use_pool = len(items) > 1 and (max_workers is None or max_workers > 1)
+        scheduler = "localpool" if use_pool else "inprocess"
+    owned = create_scheduler(
+        scheduler,
+        max_workers=max_workers,
+        initializer=initializer,
+        initargs=initargs,
+        chunksize=chunksize,
+        timeout_s=timeout_s,
     )
-    outcome.failures.append(PointFailure(
-        index=index, item=item, error=repr(last),
-        attempts=attempts, diagnostic=diag,
-    ))
+    try:
+        return run_fanout(owned, fn, items, on_error=on_error,
+                          retries=retries, labels=labels, metrics=metrics)
+    finally:
+        owned.shutdown()

@@ -1,0 +1,52 @@
+"""Pluggable execution substrates behind one job-lifecycle protocol.
+
+``submit / poll / collect_logs / cancel / shutdown`` — see
+:mod:`repro.scheduler.base` for the contract and ``docs/scheduling.md``
+for the backend matrix (``inprocess`` / ``localpool`` / ``spool``).
+"""
+
+from repro.scheduler.base import (
+    CANCELLED,
+    DEFAULT_RETRIES,
+    DONE,
+    FAILED,
+    FanoutOutcome,
+    PENDING,
+    POLICIES,
+    PointFailure,
+    RUNNING,
+    Scheduler,
+    SchedulerJob,
+    create_scheduler,
+    is_distributed,
+    register_scheduler,
+    run_fanout,
+    scheduler_names,
+)
+from repro.scheduler.inprocess import InprocessScheduler
+from repro.scheduler.localpool import LocalPoolScheduler, pool_chunksize
+from repro.scheduler.spool import SpoolScheduler, run_worker
+
+__all__ = [
+    "CANCELLED",
+    "DEFAULT_RETRIES",
+    "DONE",
+    "FAILED",
+    "FanoutOutcome",
+    "InprocessScheduler",
+    "LocalPoolScheduler",
+    "PENDING",
+    "POLICIES",
+    "PointFailure",
+    "RUNNING",
+    "Scheduler",
+    "SchedulerJob",
+    "SpoolScheduler",
+    "create_scheduler",
+    "is_distributed",
+    "pool_chunksize",
+    "register_scheduler",
+    "run_fanout",
+    "run_worker",
+    "scheduler_names",
+]

@@ -1,0 +1,285 @@
+"""The spool backend: one subprocess per job, over a spool directory.
+
+The SSH-free stand-in for a remote/cluster backend (the reframe-style
+launch / wait / stream-logs / delete lifecycle): every submitted job
+is serialized to a **job file** in the spool directory, executed by a
+fresh ``python -m repro worker <jobfile>`` process, and its artifacts
+are reattached on collect. Per job the directory holds:
+
+``<job_id>.job``
+    The pickled payload: ``{"job_id", "index", "label", "fn", "item",
+    "initializer", "initargs", "plan"}`` — ``plan`` ships the parent's
+    active :class:`~repro.resilience.faults.FaultPlan` so chaos
+    injection crosses the process boundary exactly like the pool
+    backend's fork does.
+``<job_id>.out``
+    The worker's pickled verdict: ``{"status": "done"|"failed",
+    "result" | "exception"}``; written tmp-rename, so a half-written
+    verdict is indistinguishable from a dead worker.
+``<job_id>.manifest.json``
+    Backend-side provenance (status, error, worker pid), reattached
+    as ``job.manifest``.
+``<job_id>.log``
+    The worker's real stdout+stderr (the process writes it directly;
+    no in-worker capture), reattached via ``collect_logs``.
+
+Failure semantics: an exception inside ``fn`` is a *result* (the
+worker exits 0 with a ``failed`` verdict); a worker that dies without
+a verdict — killed, OOM, crashed mid-pickle — is a substrate
+degradation: SP601 is recorded and the job's first attempt completes
+in-process, mirroring the pool backend's broken-pool path. A worker
+exceeding ``timeout_s`` is killed by the parent and fails with
+:class:`~repro.errors.WatchdogTimeout` (SP606).
+
+Workers see ``REPRO_SPOOL_WORKER=1`` in their environment — tests use
+it to misbehave only on the substrate side.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.errors import Diagnostic, WatchdogTimeout
+from repro.resilience import faults
+from repro.scheduler.base import (
+    DONE,
+    FAILED,
+    PENDING,
+    Scheduler,
+    SchedulerJob,
+    register_scheduler,
+)
+
+#: Environment variable naming a directory to keep spool job artifacts
+#: under (CI uploads it on failure); per-run spool dirs are created
+#: inside it and never deleted.
+SPOOL_DIR_ENV = "REPRO_SPOOL_DIR"
+
+#: Set in every spool worker's environment.
+WORKER_ENV = "REPRO_SPOOL_WORKER"
+
+#: Parent-side wait quantum per running worker (bounded, not a poll
+#: sleep: the wait returns the instant the process exits).
+_WAIT_SLICE_S = 0.05
+
+
+@register_scheduler
+class SpoolScheduler(Scheduler):
+    """Subprocess-per-job execution over a spool directory."""
+
+    name = "spool"
+    distributed = True
+
+    def __init__(
+        self,
+        spool_dir: Optional[Union[str, Path]] = None,
+        keep: Optional[bool] = None,
+        **options,
+    ) -> None:
+        super().__init__(**options)
+        env_root = os.environ.get(SPOOL_DIR_ENV)
+        if spool_dir is not None:
+            self.spool_dir = Path(spool_dir)
+            self.spool_dir.mkdir(parents=True, exist_ok=True)
+            self._keep = True if keep is None else keep
+        elif env_root:
+            Path(env_root).mkdir(parents=True, exist_ok=True)
+            self.spool_dir = Path(tempfile.mkdtemp(
+                prefix="spool-", dir=env_root))
+            self._keep = True if keep is None else keep
+        else:
+            self.spool_dir = Path(tempfile.mkdtemp(prefix="repro-spool-"))
+            self._keep = False if keep is None else keep
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def submit(self, fn, item, index=0, label=None) -> SchedulerJob:
+        job = super().submit(fn, item, index=index, label=label)
+        self._write_job_file(job)
+        return job
+
+    def shutdown(self) -> None:
+        if not self._keep:
+            shutil.rmtree(self.spool_dir, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def _drive(self, job: SchedulerJob) -> None:
+        queue = [j for j in self._jobs if j.status == PENDING]
+        slots = self.max_workers or (os.cpu_count() or 1)
+        running: List[tuple] = []
+        while queue or running:
+            while queue and len(running) < max(1, slots):
+                nxt = queue.pop(0)
+                running.append((nxt,) + self._launch(nxt))
+            still_running: List[tuple] = []
+            for active, proc, log_handle, started in running:
+                timed_out = False
+                try:
+                    proc.wait(timeout=_WAIT_SLICE_S)
+                except subprocess.TimeoutExpired:
+                    if (self.timeout_s is not None
+                            and time.monotonic() - started > self.timeout_s):
+                        proc.kill()
+                        proc.wait(timeout=30.0)
+                        timed_out = True
+                    else:
+                        still_running.append(
+                            (active, proc, log_handle, started))
+                        continue
+                log_handle.close()
+                self._collect(active, proc, timed_out=timed_out)
+            running = still_running
+
+    def _launch(self, job: SchedulerJob) -> tuple:
+        env = dict(os.environ)
+        env[WORKER_ENV] = "1"
+        # The worker must resolve the same library the parent runs.
+        lib_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            lib_root if not existing
+            else lib_root + os.pathsep + existing)
+        log_handle = self._path(job, ".log").open("wb")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             str(self._path(job, ".job"))],
+            stdout=log_handle, stderr=subprocess.STDOUT, env=env,
+        )
+        return (proc, log_handle, time.monotonic())
+
+    def _collect(self, job: SchedulerJob, proc, timed_out: bool) -> None:
+        """Reattach the worker's verdict, manifest, and log."""
+        log_path = self._path(job, ".log")
+        if log_path.exists():
+            text = log_path.read_text(encoding="utf-8", errors="replace")
+            if text:
+                job.logs.append(text)
+        manifest_path = self._path(job, ".manifest.json")
+        if manifest_path.exists():
+            try:
+                job.manifest = json.loads(manifest_path.read_text())
+            except ValueError:
+                job.manifest = None
+        if timed_out:
+            job.exception = WatchdogTimeout(
+                f"item exceeded the {self.timeout_s}s watchdog budget",
+                diagnostics=(Diagnostic.error(
+                    "SP606",
+                    f"watchdog expired after {self.timeout_s}s",
+                    job.label,
+                ),),
+            )
+            job.status = FAILED
+            return
+        verdict = self._read_verdict(job)
+        if verdict is None:
+            # No verdict: the worker died (killed, OOM, crashed). Same
+            # degradation contract as a broken pool — SP601, then the
+            # first attempt completes in the parent.
+            self._degrade(
+                f"spool worker for {job.job_id} died "
+                f"(exit {proc.returncode}) without a verdict; "
+                "completing the job in-process")
+            self._execute_inprocess(job)
+            return
+        if verdict.get("status") == "done":
+            job.result = verdict.get("result")
+            job.status = DONE
+        else:
+            exc = verdict.get("exception")
+            if not isinstance(exc, BaseException):
+                exc = RuntimeError(str(verdict.get("error", "worker failed")))
+            job.exception = exc
+            job.status = FAILED
+
+    def _read_verdict(self, job: SchedulerJob) -> Optional[dict]:
+        out_path = self._path(job, ".out")
+        if not out_path.exists():
+            return None
+        try:
+            verdict = pickle.loads(out_path.read_bytes())
+        except Exception:
+            return None
+        return verdict if isinstance(verdict, dict) else None
+
+    # ------------------------------------------------------------------
+    # Job files
+    # ------------------------------------------------------------------
+    def _path(self, job: SchedulerJob, suffix: str) -> Path:
+        return self.spool_dir / f"{job.job_id}{suffix}"
+
+    def _write_job_file(self, job: SchedulerJob) -> None:
+        payload = {
+            "job_id": job.job_id,
+            "index": job.index,
+            "label": job.label,
+            "fn": job.fn,
+            "item": job.item,
+            "initializer": self.initializer,
+            "initargs": self.initargs,
+            "plan": faults.active_plan(),
+        }
+        path = self._path(job, ".job")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(pickle.dumps(payload))
+        tmp.replace(path)
+
+
+# ----------------------------------------------------------------------
+# The worker side: ``python -m repro worker <jobfile>``
+# ----------------------------------------------------------------------
+def run_worker(job_file: Union[str, Path]) -> int:
+    """Execute one spooled job file and write its verdict + manifest
+    beside it (both tmp-rename: the parent never reads a torn file).
+
+    Exit code 0 covers both verdicts — a ``failed`` verdict is a
+    *result*, not a dead worker; nonzero exits are reserved for real
+    worker death (which the parent degrades on).
+    """
+    path = Path(job_file)
+    payload = pickle.loads(path.read_bytes())
+    faults.mark_worker()
+    if payload.get("plan") is not None:
+        faults.install(payload["plan"])
+    if payload.get("initializer") is not None:
+        payload["initializer"](*payload.get("initargs", ()))
+    try:
+        result = payload["fn"](payload["item"])
+    except Exception as exc:
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(repr(exc))
+        verdict = {"status": "failed", "exception": exc, "error": repr(exc)}
+    else:
+        verdict = {"status": "done", "result": result}
+    out_path = path.with_suffix(".out")
+    tmp = out_path.with_name(f"{out_path.name}.{os.getpid()}.tmp")
+    tmp.write_bytes(pickle.dumps(verdict))
+    tmp.replace(out_path)
+    manifest = {
+        "job_id": payload.get("job_id"),
+        "index": payload.get("index"),
+        "label": payload.get("label"),
+        "status": verdict["status"],
+        "error": verdict.get("error"),
+        "backend": "spool",
+        "worker_pid": os.getpid(),
+    }
+    manifest_path = path.with_suffix(".manifest.json")
+    tmp = manifest_path.with_name(f"{manifest_path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(manifest, sort_keys=True))
+    tmp.replace(manifest_path)
+    return 0

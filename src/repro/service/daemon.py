@@ -180,16 +180,19 @@ async def run_daemon(
     endpoint_file: Optional[Union[str, Path]] = None,
     sim_workers: Optional[int] = None,
     on_error: str = "retry",
+    scheduler: Optional[str] = None,
     announce=None,
 ) -> None:
     """Boot queue + daemon and serve until a ``shutdown`` op.
 
     ``announce`` (when given) is called once with the bound daemon —
     the CLI prints the endpoint through it, tests capture the port.
+    ``scheduler`` names the batch execution backend (``--scheduler``).
     """
     queue = JobQueue(
         context=context, spool_dir=spool_dir,
         sim_workers=sim_workers, on_error=on_error,
+        scheduler=scheduler,
     )
     daemon = Daemon(
         queue, host=host, port=port, endpoint_file=endpoint_file,

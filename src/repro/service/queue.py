@@ -68,8 +68,12 @@ class JobQueue:
     supervised process-pool width each batch fans out over;
     ``on_error`` is the per-point policy (default ``"retry"`` — a
     service should absorb transient faults, not crash on them).
-    ``runner`` overrides the batch execution callable (tests inject
-    blocking/recording runners to pin down coalescing windows).
+    ``scheduler`` names the execution backend each batch fans out on
+    (``"inprocess"`` | ``"localpool"`` | ``"spool"``, see
+    ``docs/scheduling.md``; default: the context's, else the
+    historical pool heuristic). ``runner`` overrides the batch
+    execution callable (tests inject blocking/recording runners to
+    pin down coalescing windows).
     """
 
     def __init__(
@@ -80,11 +84,13 @@ class JobQueue:
         on_error: str = "retry",
         batch_limit: int = DEFAULT_BATCH_LIMIT,
         runner=None,
+        scheduler: Optional[str] = None,
     ) -> None:
         self.context = context if context is not None else ExperimentContext()
         self.metrics = self.context.metrics
         self.sim_workers = sim_workers
         self.on_error = on_error
+        self.scheduler = scheduler
         self.batch_limit = max(1, int(batch_limit))
         self._runner = runner if runner is not None else self._run_points
         self.spool = Spool(spool_dir) if spool_dir is not None else None
@@ -301,6 +307,7 @@ class JobQueue:
             list(points),
             max_workers=self.sim_workers,
             on_error=self.on_error,
+            scheduler=self.scheduler,
         )
 
     def _fan_out(self, keys: Sequence[Tuple], error: Optional[str]) -> None:

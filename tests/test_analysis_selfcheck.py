@@ -402,6 +402,63 @@ class TestBlockingWaits:
         assert not selfcheck(tmp_path).has("SP913")
 
 
+class TestPoolConfinement:
+    def test_sp914_from_import_outside_backend(self, tmp_path):
+        write_tree(tmp_path, {
+            "resilience/supervisor.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def fan_out(fn, items):
+                    with ProcessPoolExecutor() as pool:
+                        return list(pool.map(fn, items))
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP914")
+
+    def test_sp914_attribute_use_outside_backend(self, tmp_path):
+        write_tree(tmp_path, {
+            "engine/parallel.py": """
+                import concurrent.futures
+
+                def fan_out(fn, items):
+                    pool = concurrent.futures.ProcessPoolExecutor()
+                    return list(pool.map(fn, items))
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP914")
+
+    def test_localpool_backend_may_name_the_pool(self, tmp_path):
+        write_tree(tmp_path, {
+            "scheduler/localpool.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def fan_out(fn, items):
+                    with ProcessPoolExecutor() as pool:
+                        return list(pool.map(fn, items))
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP914")
+
+    def test_sp914_other_scheduler_modules_are_not_exempt(self, tmp_path):
+        write_tree(tmp_path, {
+            "scheduler/base.py": """
+                from concurrent.futures import ProcessPoolExecutor
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP914")
+
+    def test_sp914_confinement_is_repo_wide(self, tmp_path):
+        # Unlike the supervisor-scoped rules, SP914 has no include
+        # list: a pool smuggled into *any* module dodges the scheduler
+        # protocol, so the whole tree is in scope.
+        write_tree(tmp_path, {
+            "analysis/offline_tool.py": """
+                from concurrent.futures import ProcessPoolExecutor
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP914")
+
+
 class TestPassFramework:
     def test_passes_subset_restricts_rules(self, tmp_path):
         from repro.analysis.selfcheck import PASSES

@@ -3,10 +3,18 @@ assert the resilience layer delivers the acceptance criteria — the
 sweep completes, results are bit-identical to a fault-free run, and
 every injected fault is visible as an SP6xx record in the manifests.
 
-``REPRO_CHAOS_SEED`` overrides the plan seed (default 1234) and
+The sweep and service classes are parametrized over every scheduler
+backend (``inprocess`` / ``localpool`` / ``spool``): the same fault
+plan must be survived identically no matter which substrate runs the
+points. What differs per backend is only the *degradation* signature —
+the in-process backend has no workers to lose, so it never records
+SP601 — captured in :data:`DEGRADE`.
+
+``REPRO_CHAOS_SEED`` overrides the plan seed (default 1234),
 ``REPRO_CHAOS_DIR`` pins the cache/quarantine directory so CI can
-upload it as an artifact when the suite fails; both default to
-hermetic per-test values.
+upload it as an artifact when the suite fails, and
+``REPRO_SCHED_BACKENDS`` (comma-separated) restricts the backend
+matrix; all default to hermetic per-test values.
 """
 
 import os
@@ -21,6 +29,22 @@ from repro.resilience import Fault, FaultPlan, activate, drain_fired
 
 SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1234"))
 
+ALL_BACKENDS = ("inprocess", "localpool", "spool")
+BACKENDS = tuple(
+    b for b in ALL_BACKENDS
+    if b in os.environ.get(
+        "REPRO_SCHED_BACKENDS", ",".join(ALL_BACKENDS)).split(",")
+)
+
+#: Degradation codes each backend is *expected* to surface under
+#: worker death at rate 1.0 — the in-process backend has no worker
+#: processes to lose, so the worker_death site never fires for it.
+DEGRADE = {
+    "inprocess": frozenset(),
+    "localpool": frozenset({"SP601"}),
+    "spool": frozenset({"SP601"}),
+}
+
 #: 2 archs x 2 workloads on one matrix: enough distinct fault keys for
 #: every site, small enough to keep the suite fast.
 POINTS = [
@@ -29,6 +53,11 @@ POINTS = [
     ("sparsepipe", "kcore", "gy"),
     ("ideal", "kcore", "gy"),
 ]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
 
 
 @pytest.fixture
@@ -50,8 +79,8 @@ def _plan():
 
 
 class TestChaosSweep:
-    def test_sweep_survives_every_fault_site(self, chaos_dir):
-        cache_dir = chaos_dir / "cache"
+    def test_sweep_survives_every_fault_site(self, chaos_dir, backend):
+        cache_dir = chaos_dir / f"cache-{backend}"
 
         # Fault-free baseline; also populates the disk cache so the
         # chaos run exercises the cache.get corruption site.
@@ -60,7 +89,8 @@ class TestChaosSweep:
         assert all(m.status == "ok" for m in clean.manifests.values())
 
         chaotic = ExperimentContext(
-            cache_dir=cache_dir, max_workers=2, on_error="retry")
+            cache_dir=cache_dir, max_workers=2, on_error="retry",
+            scheduler=backend)
         with activate(_plan()):
             results = chaotic.simulate_many(POINTS)
         fired = drain_fired()
@@ -79,32 +109,38 @@ class TestChaosSweep:
         quarantined = list(cache_dir.glob("*/quarantine/*.json"))
         assert len(quarantined) == len(POINTS)
 
-        # ...and SP6xx provenance in every point's manifest.
+        # ...and SP6xx provenance in every point's manifest. Which
+        # degradation codes appear is the only backend-specific part.
         codes = set()
         for point in POINTS:
             manifest = chaotic.manifest(*point)
             assert manifest.status == "retried"
             codes.update(f.get("code") for f in manifest.faults)
-        assert {"SP601", "SP602", "SP604"} <= codes
+        assert {"SP602", "SP604"} | DEGRADE[backend] <= codes
 
         # Sweep-wide counters account the same events.
         assert chaotic.metrics.counter("cache.quarantined").value == len(POINTS)
-        assert chaotic.metrics.counter("resilience.pool_breaks").value >= 1
+        pool_breaks = chaotic.metrics.counter("resilience.pool_breaks").value
+        if DEGRADE[backend]:
+            assert pool_breaks >= 1
+        else:
+            assert pool_breaks == 0
         assert chaotic.metrics.counter("resilience.retries").value >= len(POINTS)
 
-    def test_chaos_leaves_identical_digests(self, chaos_dir):
+    def test_chaos_leaves_identical_digests(self, chaos_dir, backend):
         # Surviving faults is unstable provenance: run identity (the
         # manifest digest) must match an undisturbed context's.
         clean = ExperimentContext()
         clean.simulate_many(POINTS[:2])
-        chaotic = ExperimentContext(max_workers=2, on_error="retry")
+        chaotic = ExperimentContext(
+            max_workers=2, on_error="retry", scheduler=backend)
         with activate(_plan()):
             chaotic.simulate_many(POINTS[:2])
         for point in POINTS[:2]:
             assert chaotic.manifest(*point).digest() == \
                 clean.manifest(*point).digest()
 
-    def test_repeat_run_is_deterministic(self, tmp_path):
+    def test_repeat_run_is_deterministic(self, tmp_path, backend):
         # Same seed, same faults, same outcome — chaos runs reproduce.
         outcomes = []
         for attempt in ("a", "b"):
@@ -112,7 +148,8 @@ class TestChaosSweep:
                 cache_dir=tmp_path / attempt, max_workers=2, on_error="retry")
             ctx.simulate_many(POINTS[:2])  # populate cache
             chaotic = ExperimentContext(
-                cache_dir=tmp_path / attempt, max_workers=2, on_error="retry")
+                cache_dir=tmp_path / attempt, max_workers=2,
+                on_error="retry", scheduler=backend)
             with activate(_plan()):
                 results = chaotic.simulate_many(POINTS[:2])
             statuses = tuple(
@@ -131,15 +168,16 @@ class TestChaosService:
     SP6xx provenance in the served manifests.
     """
 
-    def _serve(self, cache_dir, plan=None):
+    def _serve(self, cache_dir, plan=None, scheduler=None):
         import asyncio
 
         from repro.service import JobQueue
 
         async def main():
             context = ExperimentContext(
-                cache_dir=cache_dir, max_workers=2, on_error="retry")
-            queue = JobQueue(context=context)
+                cache_dir=cache_dir, max_workers=2, on_error="retry",
+                scheduler=scheduler)
+            queue = JobQueue(context=context, scheduler=scheduler)
             await queue.start()
             if plan is not None:
                 with activate(plan):
@@ -155,15 +193,16 @@ class TestChaosService:
 
         return asyncio.run(main())
 
-    def test_service_survives_every_fault_site(self, chaos_dir):
-        cache_dir = chaos_dir / "service-cache"
+    def test_service_survives_every_fault_site(self, chaos_dir, backend):
+        cache_dir = chaos_dir / f"service-cache-{backend}"
 
         # Fault-free baseline service; populates the shared store so
         # the chaos pass exercises the cache.get corruption site.
         _clean_queue, baseline = self._serve(cache_dir)
         assert all(job.status == "done" for job in baseline)
 
-        queue, jobs = self._serve(cache_dir, plan=_plan())
+        queue, jobs = self._serve(cache_dir, plan=_plan(),
+                                  scheduler=backend)
         fired = drain_fired()
 
         # Acceptance: every job lands, bit-identical to fault-free.
@@ -182,7 +221,7 @@ class TestChaosService:
         for job in jobs:
             assert job.manifest.status == "retried"
             codes.update(f.get("code") for f in job.manifest.faults)
-        assert {"SP601", "SP602", "SP604"} <= codes
+        assert {"SP602", "SP604"} | DEGRADE[backend] <= codes
 
         # ...the per-shard quarantine caught every corrupted read...
         quarantined = list(cache_dir.glob("*/quarantine/*.json"))
@@ -195,22 +234,24 @@ class TestChaosService:
         assert queue.metrics.value("service.jobs_completed") == len(POINTS)
         assert queue.metrics.value("service.jobs_failed") == 0
 
-    def test_chaos_service_digests_match_clean_service(self, tmp_path):
+    def test_chaos_service_digests_match_clean_service(self, tmp_path,
+                                                       backend):
         # Fault survival is unstable provenance: run identity of a
         # service answer must not depend on the chaos it survived.
         _q1, clean = self._serve(tmp_path / "clean")
-        _q2, chaotic = self._serve(tmp_path / "chaotic", plan=_plan())
+        _q2, chaotic = self._serve(tmp_path / "chaotic", plan=_plan(),
+                                   scheduler=backend)
         drain_fired()
         for a, b in zip(clean, chaotic):
             assert a.manifest.digest() == b.manifest.digest()
 
-    def test_chaos_service_honors_seed_env(self, tmp_path):
+    def test_chaos_service_honors_seed_env(self, tmp_path, backend):
         # REPRO_CHAOS_SEED reaches the service plan: same seed, same
         # jobs, same outcome — byte-identical served documents.
         outcomes = []
         for attempt in ("a", "b"):
             queue, jobs = self._serve(tmp_path / attempt,
-                                      plan=_plan())
+                                      plan=_plan(), scheduler=backend)
             drain_fired()
             outcomes.append([
                 {k: v for k, v in job.to_doc().items()

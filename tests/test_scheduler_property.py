@@ -1,0 +1,96 @@
+"""Differential property test: the service's observable outcome is a
+function of the submissions, not of the scheduler backend.
+
+Hypothesis generates submission sequences — points drawn from a small
+pool, with priorities and deliberate duplicates — and replays each
+sequence through a live :class:`JobQueue` once per backend. Priority
+dispatch and coalescing may *schedule* differently (a duplicate can
+coalesce onto a running primary or be served from the memo an instant
+later — that race is timing, not semantics), but every backend must
+land the same terminal statuses, bit-identical results, equal manifest
+digests, and the same ``sim.runs`` count (fresh simulations are keyed
+by unique points, never by substrate or dispatch order).
+
+``REPRO_SCHED_BACKENDS`` restricts the backend matrix, as in the
+conformance and chaos suites. Examples are few (``max_examples=3``)
+and the deadline is off: a spool example pays a Python-startup tax
+per job, and the property is about cross-backend agreement, not speed.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.experiments.runner import ExperimentContext  # noqa: E402
+from repro.service import JobQueue  # noqa: E402
+
+ALL_BACKENDS = ("inprocess", "localpool", "spool")
+BACKENDS = tuple(
+    b for b in ALL_BACKENDS
+    if b in os.environ.get(
+        "REPRO_SCHED_BACKENDS", ",".join(ALL_BACKENDS)).split(",")
+)
+
+#: Cheap, distinct simulation points for generated submissions.
+POINT_POOL = [
+    ("sparsepipe", "pr", "gy"),
+    ("ideal", "pr", "gy"),
+    ("cpu", "pr", "gy"),
+]
+
+#: A submission is (point, priority); sequences repeat points on
+#: purpose so coalescing and memo-serving both get exercised.
+SUBMISSIONS = st.lists(
+    st.tuples(st.sampled_from(POINT_POOL),
+              st.integers(min_value=-2, max_value=2)),
+    min_size=1, max_size=5,
+)
+
+
+def _replay(submissions, backend):
+    """Run one submission sequence on one backend; return the
+    backend-independent observables."""
+
+    async def main():
+        context = ExperimentContext(max_workers=2, scheduler=backend)
+        queue = JobQueue(context=context, scheduler=backend)
+        await queue.start()
+        job_ids = [await queue.submit(point, priority=priority)
+                   for point, priority in submissions]
+        jobs = [await queue.result(j, timeout=300) for j in job_ids]
+        await queue.close()
+        return context, jobs
+
+    context, jobs = asyncio.run(main())
+    return {
+        "statuses": [job.status for job in jobs],
+        "results": [job.result for job in jobs],
+        "digests": [job.manifest.digest() for job in jobs],
+        "sim_runs": context.metrics.counter("sim.runs").value,
+    }
+
+
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(submissions=SUBMISSIONS)
+def test_service_outcome_is_backend_invariant(submissions):
+    reference = _replay(submissions, BACKENDS[0])
+
+    # The invariants hold against the sequence itself...
+    assert reference["statuses"] == ["done"] * len(submissions)
+    unique_points = {point for point, _priority in submissions}
+    assert reference["sim_runs"] == len(unique_points)
+    by_point = {}
+    for (point, _priority), result, digest in zip(
+            submissions, reference["results"], reference["digests"]):
+        assert by_point.setdefault(point, (result, digest)) == \
+            (result, digest), "duplicate submissions must agree"
+
+    # ...and identically on every other backend.
+    for backend in BACKENDS[1:]:
+        assert _replay(submissions, backend) == reference, backend

@@ -17,7 +17,12 @@ the TCP daemon/client end to end.
 from __future__ import annotations
 
 import asyncio
+import os
+import subprocess
+import sys
 import threading
+import time
+from pathlib import Path
 
 import pytest
 
@@ -31,6 +36,7 @@ from repro.service import (
     Spool,
     jobs as jb,
 )
+from repro.service.client import endpoint_from_file
 
 POINT = ("sparsepipe", "pr", "gy")
 OTHER = ("ideal", "pr", "gy")
@@ -324,12 +330,19 @@ class TestSpoolRecovery:
 # Daemon + client, end to end
 # ----------------------------------------------------------------------
 class TestDaemonEndToEnd:
+    """Every daemon here binds ``port=0`` (the kernel picks a free
+    port) and advertises it through an endpoint file — the same
+    discovery clients and CI use — so no test ever hardcodes a port or
+    races another suite for one."""
+
     def test_full_client_session(self, tmp_path):
         ctx = ExperimentContext(cache_dir=tmp_path / "cache",
                                 cache_max_bytes=1 << 22)
-        with BackgroundDaemon(context=ctx,
-                              spool_dir=tmp_path / "spool") as bg:
-            client = ServiceClient(port=bg.port, timeout_s=300.0)
+        endpoint = tmp_path / "endpoint.json"
+        with BackgroundDaemon(context=ctx, port=0, endpoint_file=endpoint,
+                              spool_dir=tmp_path / "spool"):
+            host, port = endpoint_from_file(endpoint)
+            client = ServiceClient(host=host, port=port, timeout_s=300.0)
             assert client.ping()
 
             points = [list(POINT), list(POINT), list(OTHER)]
@@ -376,8 +389,115 @@ class TestDaemonEndToEnd:
             client.ping()
 
     def test_unknown_op_is_clean_protocol_error(self, tmp_path):
-        with BackgroundDaemon(spool_dir=tmp_path / "spool") as bg:
-            client = ServiceClient(port=bg.port)
+        endpoint = tmp_path / "endpoint.json"
+        with BackgroundDaemon(port=0, endpoint_file=endpoint,
+                              spool_dir=tmp_path / "spool"):
+            client = ServiceClient(*endpoint_from_file(endpoint))
             with pytest.raises(ServiceError, match="unknown op"):
                 client.request("frobnicate")
             client.shutdown()
+
+
+# ----------------------------------------------------------------------
+# The real CLI daemon, as a subprocess
+# ----------------------------------------------------------------------
+class TestDaemonCliEndToEnd:
+    """Boots the actual ``python -m repro serve`` process with
+    ``--port 0`` and discovers the kernel-chosen port through
+    ``--endpoint-file`` — the anti-flake contract: no fixed port to
+    collide on, no readiness sleep to mistime (the endpoint file is
+    written tmp-rename only after the socket is bound)."""
+
+    def _boot(self, tmp_path, *extra):
+        endpoint = tmp_path / "endpoint.json"
+        env = dict(os.environ)
+        lib_root = str(Path(__file__).resolve().parents[1] / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            lib_root if not existing
+            else lib_root + os.pathsep + existing)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", "0", "--endpoint-file", str(endpoint),
+             "--spool", str(tmp_path / "spool"), *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env)
+        return proc, endpoint
+
+    @staticmethod
+    def _discover(proc, endpoint, budget_s=120.0):
+        """Wait for the advertised endpoint; fail loudly (with the
+        daemon's output) instead of hanging if it died on boot."""
+        deadline = time.monotonic() + budget_s
+        while time.monotonic() < deadline:
+            if endpoint.exists():
+                host, port = endpoint_from_file(endpoint)
+                return ServiceClient(host=host, port=port, timeout_s=300.0)
+            if proc.poll() is not None:
+                out = proc.stdout.read().decode(errors="replace")
+                pytest.fail(f"daemon exited {proc.returncode} before "
+                            f"advertising its endpoint:\n{out}")
+            time.sleep(0.05)
+        proc.kill()
+        pytest.fail("daemon never advertised its endpoint")
+
+    @staticmethod
+    def _stop(client, proc):
+        try:
+            if client is not None:
+                client.shutdown()
+                proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+    def test_cli_daemon_session_via_endpoint_discovery(self, tmp_path):
+        proc, endpoint = self._boot(tmp_path)
+        client = None
+        try:
+            client = self._discover(proc, endpoint)
+            assert client.ping()
+            job_ids = client.submit_many([list(POINT), list(POINT),
+                                          list(OTHER)])
+            docs = client.wait_all(job_ids, timeout_s=300.0)
+            assert [d["status"] for d in docs] == [jb.DONE] * 3
+            assert docs[0]["result"] == docs[1]["result"]
+            assert client.stats()["metrics"]["sim.runs"]["value"] == 2
+        finally:
+            self._stop(client, proc)
+        assert proc.returncode == 0
+        # The spool journal survives the daemon for post-mortems.
+        assert len(Spool(tmp_path / "spool").load()) == 3
+
+    @pytest.mark.slow
+    def test_cli_daemon_stress_many_clients(self, tmp_path):
+        """Stress variant: concurrent clients hammering one daemon
+        with duplicate submissions; the engine must still run each
+        unique point exactly once."""
+        proc, endpoint = self._boot(tmp_path, "--scheduler", "localpool")
+        points = [list(POINT), list(OTHER), list(THIRD)]
+        client = None
+        try:
+            client = self._discover(proc, endpoint)
+            outcomes = []
+
+            def hammer():
+                mine = ServiceClient(*endpoint_from_file(endpoint),
+                                     timeout_s=300.0)
+                ids = mine.submit_many(points * 3)
+                outcomes.append(mine.wait_all(ids, timeout_s=300.0))
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+            assert len(outcomes) == 4
+            for docs in outcomes:
+                assert [d["status"] for d in docs] == \
+                    [jb.DONE] * len(points) * 3
+            counters = client.stats()["metrics"]
+            assert counters["sim.runs"]["value"] == len(points)
+        finally:
+            self._stop(client, proc)
+        assert proc.returncode == 0
