@@ -7,6 +7,15 @@ and speedups plus the time-weighted aggregate. While timing, every
 point is also checked for exact result equality, so the benchmark
 doubles as one more differential run.
 
+A second, *observed* sweep times the same grid with a timeline and a
+metrics observer attached (the ``python -m repro trace``
+configuration) and records it as the ``observed_speedup`` section.
+Batched event synthesis means observed runs execute on the vectorized
+backend too; the sweep is also the no-fallback CI gate — it fails if
+any observed point lands on the reference loop
+(``sim.last_backend != "vectorized"``) or if the synthesized Chrome
+trace / metrics digest differ from the reference event stream's.
+
 The full sweep is the complete (11 workloads x 9 matrices) grid —
 every paper semiring and, deliberately, the lagging ``kpp``/``sssp``
 points on every matrix, so the recorded aggregate is honest about the
@@ -28,8 +37,16 @@ from repro.arch.config import SparsepipeConfig
 from repro.arch.simulator import SparsepipeSimulator
 from repro.experiments.report import format_table
 from repro.matrices.suite import SUITE
+from repro.obs.metrics import MetricsObserver
+from repro.obs.timeline import TimelineObserver
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
+
+#: Comparison-heavy semirings where vectorization historically helped
+#: least; the specialized kernels (``repro.semiring.kernels``) lifted
+#: them, and the full sweep asserts none regresses below 2.5x.
+LAGGARDS = ("kcore", "knn", "gcn", "kpp")
+LAGGARD_FLOOR = 2.5
 
 def _points(context):
     """The full (workload x matrix) grid — all 11 workloads on all 9
@@ -39,20 +56,65 @@ def _points(context):
     )
 
 
+#: Best-of-N timing per point: most grid points run in single-digit
+#: milliseconds, where a one-shot measurement can be thrown 10x by a GC
+#: pause or scheduler hiccup; the minimum of three runs is the standard
+#: microbenchmark defence and keeps the per-point speedups honest.
+REPEATS = 3
+
+
 def _timed_run(context, workload, matrix, backend):
     profile = context.profile(workload, matrix)
     prep = context.prepared(matrix)
-    sim = SparsepipeSimulator(SparsepipeConfig(backend=backend))
-    start = time.perf_counter()
-    result = sim.run(
-        profile, prep, paper_nnz=SUITE[matrix].paper_nnz, observers=()
-    )
-    return time.perf_counter() - start, result
+    best = None
+    for _ in range(REPEATS):
+        sim = SparsepipeSimulator(SparsepipeConfig(backend=backend))
+        start = time.perf_counter()
+        result = sim.run(
+            profile, prep, paper_nnz=SUITE[matrix].paper_nnz, observers=()
+        )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _timed_observed_run(context, workload, matrix, backend):
+    """One run in the trace configuration: timeline + metrics attached.
+
+    Returns the wall time plus everything the equality gate compares —
+    the result, the serialized Chrome trace, and the metrics digest.
+    """
+    profile = context.profile(workload, matrix)
+    prep = context.prepared(matrix)
+    best = None
+    for _ in range(REPEATS):
+        timeline = TimelineObserver()
+        metrics = MetricsObserver()
+        sim = SparsepipeSimulator(SparsepipeConfig(backend=backend))
+        start = time.perf_counter()
+        result = sim.run(
+            profile, prep, paper_nnz=SUITE[matrix].paper_nnz,
+            observers=(timeline, metrics),
+        )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+        if backend == "vectorized":
+            # The no-fallback gate: an observed point silently landing
+            # on the reference loop is exactly the bug class this PR
+            # removed.
+            assert sim.last_backend == "vectorized", (
+                f"observed {workload}-{matrix} fell back to the "
+                "reference loop"
+            )
+    registry = metrics.finalize(result)
+    trace = json.dumps(timeline.to_chrome_trace(), sort_keys=True)
+    return best, result, trace, registry.digest()
 
 
 def test_backend_speedup(benchmark, context):
     def sweep():
         points = []
+        observed = []
         for workload, matrix in _points(context):
             ref_s, ref = _timed_run(context, workload, matrix, "reference")
             vec_s, vec = _timed_run(context, workload, matrix, "vectorized")
@@ -64,38 +126,92 @@ def test_backend_speedup(benchmark, context):
                 "vectorized_seconds": vec_s,
                 "speedup": ref_s / vec_s,
             })
-        return points
+            oref_s, oref, ref_trace, ref_digest = _timed_observed_run(
+                context, workload, matrix, "reference"
+            )
+            ovec_s, ovec, vec_trace, vec_digest = _timed_observed_run(
+                context, workload, matrix, "vectorized"
+            )
+            assert oref == ovec, f"observed mismatch on {workload}-{matrix}"
+            assert ref_trace == vec_trace, (
+                f"synthesized trace differs on {workload}-{matrix}"
+            )
+            assert ref_digest == vec_digest, (
+                f"metrics digest differs on {workload}-{matrix}"
+            )
+            observed.append({
+                "workload": workload,
+                "matrix": matrix,
+                "reference_seconds": oref_s,
+                "vectorized_seconds": ovec_s,
+                "speedup": oref_s / ovec_s,
+            })
+        return points, observed
 
-    points = run_once(benchmark, sweep)
+    points, observed = run_once(benchmark, sweep)
     total_ref = sum(p["reference_seconds"] for p in points)
     total_vec = sum(p["vectorized_seconds"] for p in points)
+    obs_ref = sum(p["reference_seconds"] for p in observed)
+    obs_vec = sum(p["vectorized_seconds"] for p in observed)
+    per_workload = {}
+    for p in points:
+        acc = per_workload.setdefault(p["workload"], [0.0, 0.0])
+        acc[0] += p["reference_seconds"]
+        acc[1] += p["vectorized_seconds"]
     doc = {
         "points": points,
         "total_reference_seconds": total_ref,
         "total_vectorized_seconds": total_vec,
         "aggregate_speedup": total_ref / total_vec,
+        "per_workload_speedup": {
+            w: ref / vec for w, (ref, vec) in sorted(per_workload.items())
+        },
+        "observed_speedup": {
+            "points": observed,
+            "total_reference_seconds": obs_ref,
+            "total_vectorized_seconds": obs_vec,
+            "aggregate_speedup": obs_ref / obs_vec,
+        },
         "full_sweep": is_full_sweep(),
     }
     OUTPUT.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
+    obs_by_point = {
+        (p["workload"], p["matrix"]): p["speedup"] for p in observed
+    }
     print(
         format_table(
-            ["point", "reference s", "vectorized s", "speedup"],
+            ["point", "reference s", "vectorized s", "speedup", "observed"],
             [
                 (f"{p['workload']}-{p['matrix']}",
                  round(p["reference_seconds"], 3),
                  round(p["vectorized_seconds"], 3),
-                 round(p["speedup"], 1))
+                 round(p["speedup"], 1),
+                 round(obs_by_point[(p["workload"], p["matrix"])], 1))
                 for p in points
             ],
             title=f"Backend speedup (aggregate "
-                  f"{doc['aggregate_speedup']:.1f}x) -> {OUTPUT.name}",
+                  f"{doc['aggregate_speedup']:.1f}x, observed "
+                  f"{doc['observed_speedup']['aggregate_speedup']:.1f}x) "
+                  f"-> {OUTPUT.name}",
         )
     )
     assert doc["aggregate_speedup"] > 1.0
+    assert doc["observed_speedup"]["aggregate_speedup"] > 1.0
     if is_full_sweep():
-        # The honest full-grid claim: ~5.1x measured time-weighted over
-        # all 99 points (including the comparison-heavy semirings that
-        # only gain 1.5-3x), asserted at 4x to leave room for timer
-        # noise — docs/performance.md has the per-semiring spread.
+        # The honest full-grid claims, measured time-weighted over all
+        # 99 points (including the comparison-heavy semirings),
+        # asserted below the measured values to leave room for timer
+        # noise — docs/performance.md has the per-semiring spread. The
+        # observed sweep carries the event-synthesis + replay cost, so
+        # its floor is lower than the zero-observer sweep's.
         assert doc["aggregate_speedup"] >= 4.0
+        assert doc["observed_speedup"]["aggregate_speedup"] >= 3.0
+        # The specialized semiring kernels lifted the comparison-heavy
+        # laggards; hold that ground per workload, time-weighted over
+        # the workload's row of the grid.
+        for w in LAGGARDS:
+            assert doc["per_workload_speedup"][w] >= LAGGARD_FLOOR, (
+                f"laggard {w} regressed below {LAGGARD_FLOOR}x: "
+                f"{doc['per_workload_speedup'][w]:.2f}x"
+            )

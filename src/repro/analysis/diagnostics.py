@@ -213,6 +213,17 @@ for _s in (
               "per-step Python loops belong to the reference backend "
               "(arch/simulator.py) only; express the computation as "
               "array ops in repro.arch.fastpath instead"),
+        _spec("SP906", "reference-backend-pin", Severity.ERROR,
+              "library code must not pin backend=\"reference\": the "
+              "vectorized backend serves every configuration "
+              "(observers and detailed_dram included) bit-identically, "
+              "so honor the caller's config; pins belong to tests and "
+              "benchmarks only"),
+        _spec("SP907", "unhonorable-observer-request", Severity.ERROR,
+              "an observers= request was made of an architecture that "
+              "is not registered observable=True; it has no event "
+              "stream to attach to — silent downgrades are forbidden, "
+              "so the request raises instead"),
         # ---- SP91x: concurrency safety (service arc) --------------------
         _spec("SP911", "pool-captured-global", Severity.ERROR,
               "mutable module-global state mutated outside a worker "

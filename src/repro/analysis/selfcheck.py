@@ -29,6 +29,12 @@ prefixes it opts into — adding a rule never adds another tree walk.
   stays confined to the reference implementation; a step loop leaking
   into other arch modules re-introduces the interpreter bottleneck the
   fast path removed.
+- **SP906** — no ``backend="reference"`` pins in library code. Batched
+  event synthesis made the vectorized backend serve every observed and
+  banked-DRAM configuration bit-identically, so a library-side pin is
+  never a requirement — it is a silent 2-10x slowdown (the Fig 15 bug
+  class). Pins belong to tests and benchmarks, which live outside the
+  package tree this lint walks.
 
 The **SP91x concurrency-safety family** targets the service arc
 (pools, caches, supervisors):
@@ -339,6 +345,24 @@ def _check_step_loops(ctx: ModuleContext, report: DiagnosticReport) -> None:
 
 
 # ----------------------------------------------------------------------
+# SP906: no reference-backend pins in library code
+# ----------------------------------------------------------------------
+def _check_backend_pins(ctx: ModuleContext, report: DiagnosticReport) -> None:
+    for node in ctx.walk(ast.Call):
+        for kw in node.keywords:
+            if (kw.arg == "backend"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value == "reference"):
+                report.add("SP906",
+                           'library code pins backend="reference"; the '
+                           "vectorized backend serves every configuration "
+                           "(observers, detailed DRAM) bit-identically, so "
+                           "a pin is only a silent slowdown — reference "
+                           "pins belong to tests and benchmarks",
+                           f"{ctx.rel}:{node.lineno}")
+
+
+# ----------------------------------------------------------------------
 # SP911: module globals only mutated by initializer-style functions
 # ----------------------------------------------------------------------
 def _check_pool_globals(ctx: ModuleContext, report: DiagnosticReport) -> None:
@@ -455,6 +479,7 @@ PASSES: Tuple[SelfCheckPass, ...] = (
                   include=tuple(f"{p}/" for p in HOT_PATH_PACKAGES)),
     SelfCheckPass("SP905", "step-loop-outside-reference", _check_step_loops,
                   include=("arch/",), exclude=(REFERENCE_BACKEND,)),
+    SelfCheckPass("SP906", "reference-backend-pin", _check_backend_pins),
     SelfCheckPass("SP911", "pool-captured-global", _check_pool_globals,
                   include=tuple(f"{p}/" for p in SERVICE_ARC_PACKAGES)),
     SelfCheckPass("SP912", "non-atomic-cache-write", _check_atomic_writes,

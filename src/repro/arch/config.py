@@ -90,9 +90,13 @@ class SparsepipeConfig:
     #: Execution backend: ``"vectorized"`` precomputes per-step
     #: traffic/occupancy vectors with numpy (:mod:`repro.arch.fastpath`)
     #: and is bit-identical to ``"reference"``, the step-by-step Python
-    #: loop. The simulator falls back to the reference loop whenever
-    #: observers are attached or ``detailed_dram`` is set, so the
-    #: instrumentation event contract is unaffected by this choice.
+    #: loop. There is no fallback: the vectorized backend serves every
+    #: configuration — observers attached, ``detailed_dram`` set — by
+    #: synthesizing the PR-3 event stream post-hoc from the per-step
+    #: vectors (:class:`~repro.engine.instrumentation.ReplayBatch`) and
+    #: replaying it, byte-identically, through the instrumentation.
+    #: ``"vectorized"`` is the documented default that backend-less
+    #: configs inherit in :func:`repro.engine.registry.run_engine`.
     backend: str = "vectorized"
 
     def __post_init__(self) -> None:

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.arch.config import MemoryConfig
 from repro.util.validation import check_positive
 
@@ -100,6 +102,23 @@ class BankedDRAM:
         activations = bursts + n_bytes / g.row_bytes
         activation_cycles = activations * self._activation_cycles / g.total_banks
         return max(bus_cycles, activation_cycles)
+
+    def cycles_batch(self, n_bytes: "np.ndarray", avg_burst_bytes: float) -> "np.ndarray":
+        """Elementwise :meth:`cycles` over an array of byte volumes.
+
+        Bit-identical to the scalar method per element (same operation
+        order on IEEE doubles); zero-byte entries cost exactly ``0.0``,
+        matching the scalar early return, so callers may fold whole
+        category vectors without filtering.
+        """
+        n = np.asarray(n_bytes, dtype=np.float64)
+        g = self._geometry
+        bursts = n / max(1.0, float(avg_burst_bytes))
+        moved = bursts * max(float(g.access_granule_bytes), float(avg_burst_bytes))
+        bus_cycles = moved / self._bytes_per_cycle
+        activations = bursts + n / g.row_bytes
+        activation_cycles = activations * self._activation_cycles / g.total_banks
+        return np.maximum(bus_cycles, activation_cycles)
 
     def efficiency(self, avg_burst_bytes: float) -> float:
         """Achieved fraction of peak bandwidth for a given burst size."""

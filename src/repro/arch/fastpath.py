@@ -22,13 +22,18 @@ the reference's exact operand order and association. Concretely:
   ``np.sum``/``ufunc.reduce`` which pairwise-sum and drift in the low bits.
 - ``peak_bytes`` is a running ``max`` — truly associative, so ``np.max``
   over the admit-time candidates is exact.
+- The banked DRAM model (``detailed_dram``) is a per-category elementwise
+  formula (:meth:`~repro.arch.dram.BankedDRAM.cycles_batch`) left-folded in
+  the reference demand-dict order; zero-byte categories cost exactly
+  ``0.0``, so folding them in is a bitwise no-op.
 
 Decomposition
 -------------
 The on-chip buffer's admit/release/evict machine depends only on the load
 plan (``enter_counts``) and the capacity: eviction thresholds compare
 ``live_bytes``, never the prefetch residency. It is therefore *static per
-run* and replayed once (:class:`_BufferStatics`). What remains sequential is
+run* and replayed once (:class:`_BufferStatics`, cached across runs per
+``(plan, capacity, window, threshold)``). What remains sequential is
 the eager prefetcher: its budget is the leftover bandwidth of a step, which
 depends on that step's demand, which depends on earlier prefetches. When the
 static no-prefetch trajectory proves the prefetcher can never fire, a pair is
@@ -41,19 +46,41 @@ uniform per-iteration activity simulate one pair and replay it.
 Repack events never feed back into timing (the buffer model's accounting is
 exact), so the repack counter is replayed separately from the static release
 sequence, memoized per inter-pair carry.
+
+Batched event synthesis
+-----------------------
+Observed runs do not fall back to the reference loop. When an
+:class:`~repro.engine.instrumentation.Instrumentation` carries observers,
+the fastpath *synthesizes* the full PR-3 event contract post-hoc from its
+precomputed vectors and replays it through the instrumentation in one pass:
+per step, ``prefetch`` → truthy ``transfer``s in account order → ``evict`` →
+``repack`` → the closing ``step`` event, then one ``FILL_STEP`` charge per
+pair/stream — exactly the order the reference loop fires them, with the
+same values, so traces, metrics, and Fig 15 bandwidth samples are
+byte-identical while the simulation itself stays vectorized. Each kernel
+renders its event script once (:meth:`_PairKernel.replay_script`) and every
+pair that reuses the kernel replays the cached script.
 """
 
 from __future__ import annotations
 
 import math
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.arch.config import SparsepipeConfig
+from repro.arch.dram import BankedDRAM
 from repro.arch.loaders import LoadPlan
 from repro.arch.profile import WorkloadProfile
 from repro.arch.stats import SimResult, TrafficBreakdown
+from repro.engine.instrumentation import (
+    FILL_STEP,
+    Instrumentation,
+    ReplayBatch,
+    StepTraceObserver,
+)
 from repro.errors import BufferError_
 
 #: DRAM bytes per vector element (64-bit values, Section VI-C). The
@@ -62,6 +89,32 @@ VECTOR_ELEMENT_BYTES = 8.0
 
 #: Traffic categories in the order the reference pair loop transfers them.
 _PAIR_CATEGORIES = ("csc", "csr_reload", "csr_eager", "vector", "writeback")
+
+#: Default burst-size hint when a category has none (matches
+#: ``MemoryController.demand_cycles``).
+_DEFAULT_BURST_HINT = 4096.0
+
+
+def burst_hints(plan: LoadPlan, profile: WorkloadProfile) -> Dict[str, float]:
+    """Average DRAM burst sizes per traffic category, from matrix
+    structure (used only by the banked DRAM model; one definition shared
+    with the reference loop's :class:`~repro.arch.memory.MemoryController`).
+
+    Column sub-tensors stream contiguously; eager/reload row traffic
+    arrives as per-row fragments; vector slices are contiguous runs of
+    one sub-tensor width.
+    """
+    row_avg = plan.matrix_stream_bytes / max(1, plan.n)
+    vector_run = (
+        plan.subtensor_cols * VECTOR_ELEMENT_BYTES * profile.feature_dim
+    )
+    return {
+        "csc": plan.matrix_stream_bytes / max(1, plan.n_subtensors),
+        "csr_eager": row_avg,
+        "csr_reload": row_avg,
+        "vector": vector_run,
+        "writeback": vector_run,
+    }
 
 
 def _fold(chunks: List[np.ndarray]) -> float:
@@ -97,6 +150,7 @@ class _BufferStatics:
         live_after_admit = np.zeros(n_steps, dtype=np.int64)
         release_seq: List[Tuple[int, int]] = []
         evict_events: List[float] = []
+        evict_step_bytes = np.zeros(n_steps)
 
         entries = list(plan.enter_counts)
         entries += [None] * (n_steps - len(entries))
@@ -112,6 +166,7 @@ class _BufferStatics:
             consumed = live.pop(s, 0)
             live_elements -= consumed
             release_seq.append((consumed, live_elements))
+            step_evicted = 0.0  # enforce_capacity's per-call accumulator
             while live_elements * elem > csr_cap and live:
                 victim = max(live)
                 if victim <= s:
@@ -125,6 +180,8 @@ class _BufferStatics:
                 n_bytes = take * elem
                 reload_due[victim] = reload_due.get(victim, 0.0) + n_bytes
                 evict_events.append(n_bytes)
+                step_evicted += n_bytes
+            evict_step_bytes[s] = step_evicted
 
         self.csr_capacity_bytes = csr_cap
         self.element_bytes = elem
@@ -133,9 +190,10 @@ class _BufferStatics:
         self.live_after_admit = live_after_admit
         self.release_seq = release_seq
         self.evict_events = np.asarray(evict_events, dtype=np.float64)
+        self.evict_step_bytes = evict_step_bytes
         self.undrained_elements = live_elements
         self._repack_threshold = config.repack_threshold
-        self._repack_memo: Dict[int, Tuple[int, int]] = {}
+        self._repack_memo: Dict[int, Tuple[int, int, Tuple[bool, ...]]] = {}
 
     def drain_check(self) -> None:
         if self.undrained_elements != 0:
@@ -144,22 +202,50 @@ class _BufferStatics:
                 "after pair drain"
             )
 
-    def repack_replay(self, carry: int) -> Tuple[int, int]:
+    def repack_replay(self, carry: int) -> Tuple[int, int, Tuple[bool, ...]]:
         """Repack events over one pair given the inter-pair consumed-element
-        carry; returns ``(events, carry_out)``. Integer recurrence, memoized."""
+        carry; returns ``(events, carry_out, fired_per_step)``. Integer
+        recurrence, memoized."""
         memo = self._repack_memo.get(carry)
         if memo is not None:
             return memo
         carry_in = carry
         thr = self._repack_threshold
         events = 0
+        fired: List[bool] = []
         for consumed, live in self.release_seq:
             carry += consumed
             if live > 0 and carry > thr * (live + carry):
                 events += 1
                 carry = 0
-        self._repack_memo[carry_in] = (events, carry)
-        return events, carry
+                fired.append(True)
+            else:
+                fired.append(False)
+        memo = (events, carry, tuple(fired))
+        self._repack_memo[carry_in] = memo
+        return memo
+
+
+#: Cross-run cache of buffer statics. The replay depends only on the load
+#: plan and the two capacity knobs, and load plans are themselves cached
+#: per matrix (:meth:`LoadPlan.from_matrix`), so sweeps that revisit a
+#: matrix — the backend bench grid, autotuning — pay the buffer replay
+#: once. Entries die with their plan (weakref finalizer on the plan).
+_STATICS_CACHE: Dict[Tuple[int, float, float, float], _BufferStatics] = {}
+
+
+def _statics_for(plan: LoadPlan, capacity: float,
+                 config: SparsepipeConfig) -> _BufferStatics:
+    key = (
+        id(plan), float(capacity),
+        float(config.csr_window_fraction), float(config.repack_threshold),
+    )
+    statics = _STATICS_CACHE.get(key)
+    if statics is None:
+        statics = _BufferStatics(plan, capacity, config)
+        _STATICS_CACHE[key] = statics
+        weakref.finalize(plan, _STATICS_CACHE.pop, key, None)
+    return statics
 
 
 class _PairKernel:
@@ -167,17 +253,90 @@ class _PairKernel:
 
     __slots__ = (
         "step_cycles", "moved", "compute_ops", "is_ops", "peak_candidates",
-        "resident_out",
+        "resident_out", "stage_cycles", "script",
     )
 
     def __init__(self, step_cycles, moved, compute_ops, is_ops,
-                 peak_candidates, resident_out):
+                 peak_candidates, resident_out, stage_cycles):
         self.step_cycles = step_cycles          #: (n_steps,)
         self.moved = moved                      #: category -> (n_steps,)
         self.compute_ops = compute_ops          #: (3 * n_steps,) interleaved
         self.is_ops = is_ops                    #: (n_steps,)
         self.peak_candidates = peak_candidates  #: (n_subtensors,) occupied at admit
         self.resident_out = resident_out        #: prefetch residency carry-out
+        self.stage_cycles = stage_cycles        #: (os, ew, is, extra, mem)
+        self.script = None                      #: lazy synthesized event script
+
+    def replay_script(self, evict_step_bytes: np.ndarray) -> list:
+        """Per-step event tuples in the reference loop's exact firing
+        order — built once per kernel, replayed by every pair that
+        memoized onto it."""
+        if self.script is None:
+            os_c, ew_c, is_c, extra_c, mem_c = self.stage_cycles
+            rows = zip(
+                self.step_cycles.tolist(),
+                self.moved["csc"].tolist(),
+                self.moved["csr_reload"].tolist(),
+                self.moved["csr_eager"].tolist(),
+                self.moved["vector"].tolist(),
+                self.moved["writeback"].tolist(),
+                os_c.tolist(), ew_c.tolist(), is_c.tolist(), mem_c.tolist(),
+                evict_step_bytes.tolist(),
+            )
+            script = []
+            for s, (cyc, csc, rl, eg, vec, wb,
+                    os_v, ew_v, is_v, mem_v, ev) in enumerate(rows):
+                moved = {
+                    "csc": csc, "csr_reload": rl, "csr_eager": eg,
+                    "vector": vec, "writeback": wb,
+                }
+                transfers = tuple(
+                    (cat, val) for cat, val in moved.items() if val
+                )
+                stages = {
+                    "os": os_v, "ewise": ew_v, "is": is_v,
+                    "extra": extra_c, "memory": mem_v,
+                }
+                script.append((s, cyc, eg, transfers, ev, moved, stages))
+            self.script = script
+        return self.script
+
+
+class _StreamKernel:
+    """Per-activity simulation of one producer-consumer-fused pass."""
+
+    __slots__ = ("step_cycles", "moved", "compute_ops", "stage_cycles", "script")
+
+    def __init__(self, step_cycles, moved, compute_ops, stage_cycles):
+        self.step_cycles = step_cycles
+        self.moved = moved
+        self.compute_ops = compute_ops
+        self.stage_cycles = stage_cycles        #: (os, ew, extra, mem)
+        self.script = None
+
+    def replay_script(self) -> list:
+        if self.script is None:
+            os_c, ew_c, extra_c, mem_c = self.stage_cycles
+            rows = zip(
+                self.step_cycles.tolist(),
+                self.moved["csc"].tolist(),
+                self.moved["vector"].tolist(),
+                self.moved["writeback"].tolist(),
+                os_c.tolist(), ew_c.tolist(), mem_c.tolist(),
+            )
+            script = []
+            for t, (cyc, csc, vec, wb, os_v, ew_v, mem_v) in enumerate(rows):
+                moved = {"csc": csc, "vector": vec, "writeback": wb}
+                transfers = tuple(
+                    (cat, val) for cat, val in moved.items() if val
+                )
+                stages = {
+                    "os": os_v, "ewise": ew_v, "extra": extra_c,
+                    "memory": mem_v,
+                }
+                script.append((t, cyc, transfers, moved, stages))
+            self.script = script
+        return self.script
 
 
 class _FastRun:
@@ -196,6 +355,18 @@ class _FastRun:
         # Same expression as ComputePipeline.tree_depth / the reference fill.
         tree_depth = max(1, int(math.ceil(math.log2(config.pes_per_core))))
         self._fill = float(config.read_latency_cycles + tree_depth)
+
+        # Banked DRAM (detailed_dram): same model object and per-category
+        # burst hints the reference MemoryController uses.
+        if config.detailed_dram:
+            self._banked: Optional[BankedDRAM] = BankedDRAM(
+                config.memory, config.clock_ghz,
+                stream_efficiency=config.dram_efficiency,
+            )
+            self._hints = burst_hints(plan, profile)
+        else:
+            self._banked = None
+            self._hints = {}
 
         n_steps, n_sub = plan.n_steps, plan.n_subtensors
         # width(s) and its lagged views, zero outside [0, n_subtensors).
@@ -217,7 +388,12 @@ class _FastRun:
 
         self._buffer: Optional[_BufferStatics] = None
         self._pair_memo: Dict[Tuple[float, float, float], _PairKernel] = {}
-        self._stream_memo: Dict[float, Tuple] = {}
+        self._stream_memo: Dict[float, _StreamKernel] = {}
+        # Synthesized event batches, memoized per (kernel, repack firing
+        # pattern). The kernels above keep the ids stable for the run's
+        # lifetime, and the batch objects double as the anchor for any
+        # observer-side templates (ReplayBatch.cache).
+        self._batch_memo: Dict[tuple, ReplayBatch] = {}
 
     # -- shared per-step cost pieces (exact reference association) --------
     def _ceil_div_cycles(self, amount: np.ndarray, feature_dim: int) -> np.ndarray:
@@ -225,9 +401,14 @@ class _FastRun:
         raw = np.ceil(amount * feature_dim / self._pes)
         return np.where(amount > 0, raw, 0.0)
 
+    def _banked_cycles(self, category: str, n_bytes) -> np.ndarray:
+        return self._banked.cycles_batch(
+            n_bytes, self._hints.get(category, _DEFAULT_BURST_HINT)
+        )
+
     def _buffer_statics(self) -> _BufferStatics:
         if self._buffer is None:
-            self._buffer = _BufferStatics(self.plan, self.capacity, self.config)
+            self._buffer = _statics_for(self.plan, self.capacity, self.config)
         return self._buffer
 
     # ------------------------------------------------------------------
@@ -273,10 +454,19 @@ class _FastRun:
         fixed_c = np.maximum.reduce([ew_c, is_c, np.maximum(os_c, extra_c)])
         fixed_c = np.maximum(fixed_c, self._overhead)
 
-        # Static (no-prefetch) trajectory.
+        # Static (no-prefetch) trajectory. The banked model folds
+        # per-category cycle costs in the reference demand-dict order
+        # (csc, csr_reload, vector, writeback — eager pays no demand).
         csc0 = self._csc0
-        mem_total0 = ((csc0 + reload) + vector_cat) + writeback
-        mem_c0 = mem_total0 / self._achievable
+        if self._banked is None:
+            mem_total0 = ((csc0 + reload) + vector_cat) + writeback
+            mem_c0 = mem_total0 / self._achievable
+        else:
+            mem_c0 = (
+                (self._banked_cycles("csc", csc0)
+                 + self._banked_cycles("csr_reload", reload))
+                + self._banked_cycles("vector", vector_cat)
+            ) + self._banked_cycles("writeback", writeback)
         step_cycles0 = np.maximum(fixed_c, mem_c0)
         demand0 = (((csc0 + reload) + vec_read) + writeback) + extra_dram_share
         leftover0 = step_cycles0 * self._achievable - demand0
@@ -291,11 +481,12 @@ class _FastRun:
             step_cycles, csc, eager, resident_out = (
                 step_cycles0, csc0, np.zeros(plan.n_steps), resident_in,
             )
+            mem_c = mem_c0
             peak_candidates = (
                 buf.live_after_admit[:n_sub] * buf.element_bytes + resident_in
             )
         else:
-            step_cycles, csc, eager, peak_candidates, resident_out = (
+            step_cycles, csc, eager, peak_candidates, resident_out, mem_c = (
                 self._scan_pair(
                     fixed_c, reload, vec_read, vector_cat, writeback,
                     extra_dram_share, resident_in, buf,
@@ -321,7 +512,7 @@ class _FastRun:
         compute[:, 2] = is_ops + extra_ops_share
         return _PairKernel(
             step_cycles, moved, compute.ravel(), is_ops, peak_candidates,
-            resident_out,
+            resident_out, (os_c, ew_c, is_c, extra_c, mem_c),
         )
 
     def _scan_pair(self, fixed_c, reload, vec_read, vector_cat, writeback,
@@ -335,6 +526,15 @@ class _FastRun:
         elem = buf.element_bytes
         csr_cap = buf.csr_capacity_bytes
 
+        banked = self._banked
+        if banked is not None:
+            # Static categories pay their banked cost independent of the
+            # prefetch recurrence; only csc demand varies step to step.
+            rl_cyc = self._banked_cycles("csr_reload", reload).tolist()
+            vc_cyc = self._banked_cycles("vector", vector_cat).tolist()
+            wb_cyc = self._banked_cycles("writeback", writeback).tolist()
+            csc_hint = self._hints.get("csc", _DEFAULT_BURST_HINT)
+
         remaining = plan.csc_bytes.astype(np.float64).copy()
         prefetched = np.zeros(n_sub)
         resident = resident_in
@@ -347,6 +547,7 @@ class _FastRun:
         live_after = buf.live_after_admit.tolist()
 
         step_cycles = fixed_c.copy()
+        mem_arr = np.zeros(n_steps)
         csc = np.zeros(n_steps)
         eager = np.zeros(n_steps)
         peak_candidates = np.zeros(n_sub)
@@ -359,8 +560,14 @@ class _FastRun:
             resident = max(0.0, resident - released)
             csc_due = float(remaining[s])
             remaining[s] = 0.0
-            mem_total = ((csc_due + reload_l[s]) + vcat_l[s]) + wb_l[s]
-            mem_c = mem_total / achievable
+            if banked is None:
+                mem_total = ((csc_due + reload_l[s]) + vcat_l[s]) + wb_l[s]
+                mem_c = mem_total / achievable
+            else:
+                mem_c = (
+                    (banked.cycles(csc_due, csc_hint) + rl_cyc[s])
+                    + vc_cyc[s]
+                ) + wb_cyc[s]
             cyc = fixed[s] if fixed[s] >= mem_c else mem_c
             demand = (
                 (((csc_due + reload_l[s]) + vec_l[s]) + wb_l[s])
@@ -389,6 +596,7 @@ class _FastRun:
                     t += 1
             resident += moved
             step_cycles[s] = cyc
+            mem_arr[s] = mem_c
             csc[s] = csc_due
             eager[s] = moved
             peak_candidates[s] = live_after[s] * elem + resident
@@ -397,21 +605,32 @@ class _FastRun:
         # static trajectory with zero csc demand, which _csc0 already is
         # beyond n_subtensors. Prefetch cannot fire (nothing remains).
         if n_steps > n_sub:
-            mem_tail = ((0.0 + reload[n_sub:]) + vector_cat[n_sub:]) + writeback[n_sub:]
-            step_cycles[n_sub:] = np.maximum(fixed_c[n_sub:], mem_tail / achievable)
-        return step_cycles, csc, eager, peak_candidates, resident
+            if banked is None:
+                mem_tail = (
+                    ((0.0 + reload[n_sub:]) + vector_cat[n_sub:])
+                    + writeback[n_sub:]
+                )
+                mem_tail_c = mem_tail / achievable
+            else:
+                mem_tail_c = (
+                    (self._banked_cycles("csr_reload", reload[n_sub:])
+                     + self._banked_cycles("vector", vector_cat[n_sub:]))
+                ) + self._banked_cycles("writeback", writeback[n_sub:])
+            mem_arr[n_sub:] = mem_tail_c
+            step_cycles[n_sub:] = np.maximum(fixed_c[n_sub:], mem_tail_c)
+        return step_cycles, csc, eager, peak_candidates, resident, mem_arr
 
     # ------------------------------------------------------------------
     # Streamed single iteration
     # ------------------------------------------------------------------
-    def stream(self, act: float):
-        memo = self._stream_memo.get(act)
-        if memo is None:
-            memo = self._build_stream(act)
-            self._stream_memo[act] = memo
-        return memo
+    def stream(self, act: float) -> _StreamKernel:
+        kern = self._stream_memo.get(act)
+        if kern is None:
+            kern = self._build_stream(act)
+            self._stream_memo[act] = kern
+        return kern
 
-    def _build_stream(self, act: float):
+    def _build_stream(self, act: float) -> _StreamKernel:
         plan, profile = self.plan, self.profile
         f = profile.feature_dim
         n_ops = profile.total_ewise_ops
@@ -434,8 +653,14 @@ class _FastRun:
             np.ceil(ew_elems * f / self._pes) * n_ops, 0.0,
         )
         extra_c = extra_ops_share / self._pes if extra_ops_share > 0 else 0.0
-        mem_total = (csc + vector_cat) + writeback
-        mem_c = mem_total / self._achievable
+        if self._banked is None:
+            mem_total = (csc + vector_cat) + writeback
+            mem_c = mem_total / self._achievable
+        else:
+            mem_c = (
+                self._banked_cycles("csc", csc)
+                + self._banked_cycles("vector", vector_cat)
+            ) + self._banked_cycles("writeback", writeback)
         step_cycles = np.maximum.reduce(
             [os_c, ew_c, np.maximum(np.full(n_sub, extra_c), mem_c)]
         )
@@ -443,7 +668,86 @@ class _FastRun:
 
         compute = ((plan.os_nnz * act) * f + (ew_elems * n_ops) * f) + extra_ops_share
         moved = {"csc": csc, "vector": vector_cat, "writeback": writeback}
-        return step_cycles, moved, compute
+        return _StreamKernel(
+            step_cycles, moved, compute, (os_c, ew_c, extra_c, mem_c)
+        )
+
+    # ------------------------------------------------------------------
+    # Batched event synthesis (replay through the instrumentation)
+    # ------------------------------------------------------------------
+    def _stage_columns(self, kern) -> tuple:
+        """``(stage, busy, stall)`` column triples from a kernel's stage
+        arrays — ``stall`` is the same ``max(0.0, cycles - busy)`` the
+        reference loop computes per step, folded elementwise."""
+        cyc = kern.step_cycles
+        names = (
+            ("os", "ewise", "is", "extra", "memory")
+            if len(kern.stage_cycles) == 5
+            else ("os", "ewise", "extra", "memory")
+        )
+        out = []
+        for name, busy in zip(names, kern.stage_cycles):
+            if not isinstance(busy, np.ndarray):   # scalar extra share
+                busy = np.full(cyc.size, busy)
+            out.append((name, busy, np.maximum(0.0, cyc - busy)))
+        return tuple(out)
+
+    def replay_pair(self, instr: Instrumentation, kern: _PairKernel,
+                    repack_fired: Tuple[bool, ...]) -> None:
+        """Deliver one pair's synthesized event stream (closing with the
+        FILL_STEP charge) as a memoized :class:`ReplayBatch` — the
+        reference loop's exact firing order, batched, with the kernel's
+        own vectors passed through as the columnar view."""
+        key = (id(kern), repack_fired)
+        batch = self._batch_memo.get(key)
+        if batch is None:
+            evict_bytes = self._buffer_statics().evict_step_bytes
+            script = kern.replay_script(evict_bytes)
+            steps = [
+                (s, cyc, pref, transfers, ev, rp, moved, stages)
+                for (s, cyc, pref, transfers, ev, moved, stages), rp
+                in zip(script, repack_fired)
+            ]
+            steps.append((FILL_STEP, self._fill, 0.0, (), 0.0, False, {}, None))
+            eager = kern.moved["csr_eager"]
+            batch = ReplayBatch(steps, columns={
+                "cycles": np.concatenate((kern.step_cycles, (self._fill,))),
+                "dram": tuple(kern.moved.items()),
+                "stages": self._stage_columns(kern),
+                "evict": evict_bytes,
+                "prefetch": eager,
+                "n_real": int(kern.step_cycles.size),
+                "n_evict": int(np.count_nonzero(evict_bytes)),
+                "n_prefetch": int(np.count_nonzero(eager)),
+                "n_repack": sum(1 for f in repack_fired if f),
+            })
+            self._batch_memo[key] = batch
+        instr.replay(batch)
+
+    def replay_stream(self, instr: Instrumentation,
+                      kern: _StreamKernel) -> None:
+        key = (id(kern),)
+        batch = self._batch_memo.get(key)
+        if batch is None:
+            steps = [
+                (t, cyc, 0.0, transfers, 0.0, False, moved, stages)
+                for t, cyc, transfers, moved, stages in kern.replay_script()
+            ]
+            steps.append((FILL_STEP, self._fill, 0.0, (), 0.0, False, {}, None))
+            empty = np.empty(0)
+            batch = ReplayBatch(steps, columns={
+                "cycles": np.concatenate((kern.step_cycles, (self._fill,))),
+                "dram": tuple(kern.moved.items()),
+                "stages": self._stage_columns(kern),
+                "evict": empty,
+                "prefetch": empty,
+                "n_real": int(kern.step_cycles.size),
+                "n_evict": 0,
+                "n_prefetch": 0,
+                "n_repack": 0,
+            })
+            self._batch_memo[key] = batch
+        instr.replay(batch)
 
 
 def run_fastpath(
@@ -451,11 +755,19 @@ def run_fastpath(
     plan: LoadPlan,
     profile: WorkloadProfile,
     capacity: float,
+    instr: Optional[Instrumentation] = None,
 ) -> SimResult:
     """Vectorized equivalent of the reference iteration loop — same
-    ``SimResult``, no instrumentation (the caller guarantees zero
-    observers and the flat DRAM model)."""
+    ``SimResult`` for every configuration (flat or banked DRAM).
+
+    ``instr`` is the caller's instrumentation dispatcher. With observers
+    attached, the synthesized PR-3 event stream is replayed through it
+    post-hoc (byte-identical traces/metrics, Fig 15 samples via any
+    registered :class:`StepTraceObserver`); a falsy/absent ``instr`` is
+    the zero-observer fast path — no events, ``bandwidth_samples=[]``.
+    """
     run = _FastRun(config, plan, profile, capacity)
+    replay = instr if instr else None
 
     cycle_chunks: List[np.ndarray] = []
     traffic_chunks: Dict[str, List[np.ndarray]] = {
@@ -483,18 +795,25 @@ def run_fastpath(
             compute_chunks.append(kern.compute_ops)
             is_ops_chunks.append(kern.is_ops)
             peak_values.append(kern.peak_candidates)
-            events, repack_carry = run._buffer_statics().repack_replay(repack_carry)
+            events, new_carry, fired = (
+                run._buffer_statics().repack_replay(repack_carry)
+            )
+            repack_carry = new_carry
             repack_events += events
+            if replay is not None:
+                run.replay_pair(replay, kern, fired)
             resident_carry = kern.resident_out
             n_pairs += 1
             k += 2
         else:
-            step_cycles, moved, compute = run.stream(profile.activity_at(k))
-            cycle_chunks.append(step_cycles)
+            kern = run.stream(profile.activity_at(k))
+            cycle_chunks.append(kern.step_cycles)
             cycle_chunks.append(fill)
-            for cat, arr in moved.items():
+            for cat, arr in kern.moved.items():
                 traffic_chunks[cat].append(arr)
-            compute_chunks.append(compute)
+            compute_chunks.append(kern.compute_ops)
+            if replay is not None:
+                run.replay_stream(replay, kern)
             k += 1
 
     cycles = _fold(cycle_chunks)
@@ -513,6 +832,12 @@ def run_fastpath(
         if peak_values:
             peak = max(0.0, float(np.max(np.concatenate(peak_values))))
 
+    samples = []
+    if instr is not None:
+        trace_obs = instr.find(StepTraceObserver)
+        if trace_obs is not None:
+            samples = trace_obs.samples(config.bytes_per_cycle)
+
     seconds = config.seconds(cycles)
     total_bytes = traffic.total_bytes
     deliverable = cycles * config.bytes_per_cycle
@@ -525,7 +850,7 @@ def run_fastpath(
         bandwidth_utilization=(
             min(1.0, total_bytes / deliverable) if deliverable else 0.0
         ),
-        bandwidth_samples=[],
+        bandwidth_samples=samples,
         compute_ops=compute_ops,
         buffer_peak_bytes=peak,
         oom_evicted_bytes=evicted,

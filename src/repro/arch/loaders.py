@@ -20,8 +20,9 @@ on the traffic timeline.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -65,7 +66,30 @@ class LoadPlan:
         source's storage: blocked dual storage when the preprocessing
         built one (payload + half the block index per orientation),
         naive compressed otherwise.
+
+        Plans are pure functions of the source's structure, so they are
+        cached per live ``(source, subtensor_cols, element_bytes)`` —
+        sweeps that revisit a matrix (the bench grid, autotuning, every
+        backend comparison) build each plan once. Sources are treated as
+        immutable, which every producer in this codebase honors; the
+        cache entry dies with its source object.
         """
+        key = (id(source), int(subtensor_cols), element_bytes)
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            return plan
+        plan = cls._build(source, subtensor_cols, element_bytes)
+        _PLAN_CACHE[key] = plan
+        weakref.finalize(source, _PLAN_CACHE.pop, key, None)
+        return plan
+
+    @classmethod
+    def _build(
+        cls,
+        source: Union[COOMatrix, PreprocessResult],
+        subtensor_cols: int,
+        element_bytes: float = None,
+    ) -> "LoadPlan":
         if subtensor_cols <= 0:
             raise ConfigError(f"subtensor_cols must be positive, got {subtensor_cols}")
         if isinstance(source, PreprocessResult):
@@ -126,6 +150,12 @@ class LoadPlan:
             enter_counts=enter_counts,
             subtensor_width=widths,
         )
+
+
+#: Cross-run plan cache keyed on source identity (see
+#: :meth:`LoadPlan.from_matrix`); entries are evicted by a weakref
+#: finalizer when their source is collected.
+_PLAN_CACHE: Dict[Tuple[int, int, Optional[float]], LoadPlan] = {}
 
 
 class EagerPrefetcher:

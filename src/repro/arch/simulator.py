@@ -36,7 +36,7 @@ from repro.arch.config import (
     scaled_buffer_bytes,
 )
 from repro.arch.cores import ComputePipeline
-from repro.arch.fastpath import VECTOR_ELEMENT_BYTES, run_fastpath
+from repro.arch.fastpath import VECTOR_ELEMENT_BYTES, burst_hints, run_fastpath
 from repro.arch.loaders import EagerPrefetcher, LoadPlan
 from repro.arch.memory import MemoryController
 from repro.arch.profile import WorkloadProfile
@@ -64,6 +64,9 @@ class SparsepipeSimulator:
 
     def __init__(self, config: SparsepipeConfig = SparsepipeConfig()) -> None:
         self.config = config
+        #: Which execution backend served the last ``run`` — the bench
+        #: and CI assert observed runs never silently downgrade.
+        self.last_backend: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Engine protocol
@@ -105,11 +108,14 @@ class SparsepipeSimulator:
             instr = Instrumentation(observers)
 
         # Vectorized backend: bit-identical to the loop below
-        # (repro.arch.fastpath), selected when nothing needs the per-step
-        # event stream. Attached observers or the banked DRAM model fall
-        # back to the reference loop, keeping both contracts untouched.
-        if not instr and config.backend == "vectorized" and not config.detailed_dram:
-            return run_fastpath(config, plan, profile, capacity)
+        # (repro.arch.fastpath) for every configuration — attached
+        # observers receive the synthesized PR-3 event stream post-hoc
+        # and the banked DRAM model is vectorized per category, so there
+        # is no reference-loop fallback.
+        if config.backend == "vectorized":
+            self.last_backend = "vectorized"
+            return run_fastpath(config, plan, profile, capacity, instr=instr)
+        self.last_backend = "reference"
 
         memory = MemoryController(
             config, burst_hints=self._burst_hints(plan, profile)
@@ -159,24 +165,9 @@ class SparsepipeSimulator:
 
     @staticmethod
     def _burst_hints(plan: LoadPlan, profile: WorkloadProfile) -> dict:
-        """Average DRAM burst sizes per traffic category, from matrix
-        structure (used only by the banked DRAM model).
-
-        Column sub-tensors stream contiguously; eager/reload row traffic
-        arrives as per-row fragments; vector slices are contiguous runs
-        of one sub-tensor width.
-        """
-        row_avg = plan.matrix_stream_bytes / max(1, plan.n)
-        vector_run = (
-            plan.subtensor_cols * VECTOR_ELEMENT_BYTES * profile.feature_dim
-        )
-        return {
-            "csc": plan.matrix_stream_bytes / max(1, plan.n_subtensors),
-            "csr_eager": row_avg,
-            "csr_reload": row_avg,
-            "vector": vector_run,
-            "writeback": vector_run,
-        }
+        """Average DRAM burst sizes per traffic category (banked DRAM
+        model only); one definition shared with the fastpath."""
+        return burst_hints(plan, profile)
 
     # ------------------------------------------------------------------
     # OEI pair (iterations k and k+1 fused)

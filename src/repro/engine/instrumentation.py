@@ -21,6 +21,16 @@ takes a sequence of them. With **no observers registered the simulator
 skips event construction entirely** (the zero-observer fast path), so
 instrumentation costs nothing unless asked for.
 
+The vectorized backend does not walk steps one at a time, so it
+delivers the same event stream as a :class:`ReplayBatch` — one pair or
+stream worth of pre-synthesized, step-aligned event records — through
+:meth:`Instrumentation.replay`. Observers that define an ``on_replay``
+method consume the batch wholesale (and may cache derived templates on
+``batch.cache``, since batches are memoized per kernel and replayed
+once per iteration); everything else receives the exact per-event hook
+sequence via :meth:`ReplayBatch.dispatch`. Either way the observable
+event order is the reference loop's, byte for byte.
+
 :class:`StepTraceObserver` reproduces the historical hard-wired
 accumulators (the per-step :class:`~repro.arch.stats.StepTrace` behind
 Fig 15's bandwidth samples); :class:`CounterObserver` adds per-category
@@ -32,6 +42,8 @@ PipelineActivityObserver` renders per-step bottlenecks.
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.arch.stats import StepTrace
 
@@ -73,6 +85,123 @@ class Observer:
     def on_diagnostic(self, diag) -> None:
         """The static verifier reported a (possibly suppressed)
         :class:`~repro.errors.Diagnostic` during this run."""
+
+    # Observers may additionally define ``on_replay(batch)`` — NOT a
+    # base-class method, its *absence* is how ``Instrumentation.replay``
+    # detects that an observer needs per-event dispatch — to consume a
+    # whole :class:`ReplayBatch` at once. An ``on_replay`` MUST leave
+    # the observer in exactly the state the equivalent per-event hook
+    # sequence would have.
+
+
+class ReplayBatch:
+    """One pre-synthesized, step-aligned span of the event stream — a
+    single pair (plus its fill charge) or stream replay.
+
+    ``steps`` holds one record per committed step, in commit order::
+
+        (step, cycles, prefetch_bytes, transfers, evict_bytes,
+         repack, moved, stage_cycles)
+
+    where ``transfers`` is a tuple of ``(category, n_bytes)`` in firing
+    order, ``repack`` is a bool, and zero/empty fields mean the
+    corresponding event never fired. Batches are memoized by the
+    vectorized backend (one per kernel) and replayed once per
+    iteration, so ``cache`` gives observers a stable home for derived
+    templates keyed by consumer (``batch.cache["timeline"]`` etc.).
+
+    ``columns`` is the same event stream as per-counter float64 arrays
+    (see :meth:`column_data`): the producer passes the kernel's own
+    vectors through so numeric observers can fold whole batches with
+    ``cumsum`` instead of walking ``steps``. Folding a full column —
+    zero amounts included — equals the reference hook sequence bit for
+    bit, because the skipped hooks would have added ``0.0``, the
+    float-addition identity for the non-negative totals involved.
+    """
+
+    __slots__ = ("steps", "columns", "cache")
+
+    def __init__(
+        self, steps: Sequence[tuple], columns: Optional[dict] = None
+    ) -> None:
+        self.steps = tuple(steps)
+        self.columns = columns
+        self.cache: Dict[object, object] = {}
+
+    def column_data(self) -> dict:
+        """The columnar view of the batch, derived from ``steps`` (and
+        cached) when the producer did not supply one:
+
+        - ``cycles`` — per-step durations, every step including fills,
+        - ``dram`` — ``(category, amounts)`` pairs, amounts per step,
+        - ``stages`` — ``(stage, busy, stall)`` per reported stage,
+          with ``stall = max(0.0, cycles - busy)`` already folded in,
+        - ``evict`` / ``prefetch`` — per-event byte amounts,
+        - ``n_real`` / ``n_evict`` / ``n_prefetch`` / ``n_repack`` —
+          exact integer event counts.
+        """
+        cols = self.columns
+        if cols is None:
+            cols = self._derive_columns()
+            self.columns = cols
+        return cols
+
+    def _derive_columns(self) -> dict:
+        cycles: List[float] = []
+        dram: Dict[str, List[float]] = {}
+        busy: Dict[str, List[float]] = {}
+        stall: Dict[str, List[float]] = {}
+        evict: List[float] = []
+        prefetch: List[float] = []
+        n_real = n_evict = n_prefetch = n_repack = 0
+        for (step, cyc, pref, transfers, ev, repack,
+             moved, stage_cycles) in self.steps:
+            cycles.append(cyc)
+            if pref:
+                prefetch.append(pref)
+                n_prefetch += 1
+            for cat, val in transfers:
+                dram.setdefault(cat, []).append(val)
+            if ev:
+                evict.append(ev)
+                n_evict += 1
+            if repack:
+                n_repack += 1
+            if step != FILL_STEP:
+                n_real += 1
+            if stage_cycles:
+                for stage, b in stage_cycles.items():
+                    busy.setdefault(stage, []).append(b)
+                    stall.setdefault(stage, []).append(max(0.0, cyc - b))
+        arr = lambda xs: np.asarray(xs, dtype=np.float64)  # noqa: E731
+        return {
+            "cycles": arr(cycles),
+            "dram": tuple((c, arr(v)) for c, v in dram.items()),
+            "stages": tuple(
+                (s, arr(v), arr(stall[s])) for s, v in busy.items()
+            ),
+            "evict": arr(evict),
+            "prefetch": arr(prefetch),
+            "n_real": n_real,
+            "n_evict": n_evict,
+            "n_prefetch": n_prefetch,
+            "n_repack": n_repack,
+        }
+
+    def dispatch(self, instr: "Instrumentation") -> None:
+        """Fire the batch as the exact per-event hook sequence the
+        reference loop would emit (the PR-3 event contract order)."""
+        for (step, cycles, prefetch, transfers, evict, repack,
+             moved, stage_cycles) in self.steps:
+            if prefetch:
+                instr.prefetch(step, prefetch)
+            for cat, val in transfers:
+                instr.transfer(cat, val)
+            if evict:
+                instr.evict(step, evict)
+            if repack:
+                instr.repack(step)
+            instr.step(step, cycles, moved, stage_cycles)
 
 
 class Instrumentation:
@@ -116,6 +245,23 @@ class Instrumentation:
         for o in self.observers:
             o.on_prefetch(step, n_bytes)
 
+    def replay(self, batch: ReplayBatch) -> None:
+        """Deliver a synthesized batch: observers with ``on_replay``
+        consume it wholesale; the rest get per-event dispatch in the
+        reference loop's exact order."""
+        generic: List[Observer] = []
+        for o in self.observers:
+            on_replay = getattr(o, "on_replay", None)
+            if on_replay is not None:
+                on_replay(batch)
+            else:
+                generic.append(o)
+        if generic:
+            batch.dispatch(
+                self if len(generic) == len(self.observers)
+                else Instrumentation(generic)
+            )
+
     def diagnostic(self, diag) -> None:
         for o in self.observers:
             o.on_diagnostic(diag)
@@ -139,6 +285,13 @@ class StepTraceObserver(Observer):
 
     def on_step(self, step, cycles, moved, stage_cycles=None) -> None:
         self.trace.record(cycles, moved)
+
+    def on_replay(self, batch: ReplayBatch) -> None:
+        # Same record() calls in the same order, minus the no-op hook
+        # dispatch for every transfer/prefetch/evict in between.
+        record = self.trace.record
+        for rec in batch.steps:
+            record(rec[1], rec[6])
 
     def samples(self, bytes_per_cycle: float, n_bins: int = 25):
         return self.trace.samples(bytes_per_cycle, n_bins=n_bins)

@@ -163,24 +163,46 @@ def create_engine(name: str, config: Optional["SparsepipeConfig"] = None) -> Eng
     return spec.factory(config)
 
 
+#: Sentinel distinguishing "caller passed no observers argument" from an
+#: explicit ``observers=None`` (which asks for the engine's default
+#: step-trace observer and therefore bandwidth samples).
+_OBSERVERS_UNSET = object()
+
+
+def _default_backend() -> str:
+    """The documented backend default — read from ``SparsepipeConfig``
+    itself so the config stays the single source of truth (lazy import:
+    the registry must not import arch modules at module scope)."""
+    from repro.arch.config import SparsepipeConfig
+
+    return SparsepipeConfig.backend
+
+
 def run_engine(
     name: str,
     config: Optional["SparsepipeConfig"],
     profile,
     matrix,
     paper_nnz: Optional[int] = None,
+    observers=_OBSERVERS_UNSET,
 ) -> "SimResult":
-    """Run one architecture on one point, selecting the execution backend.
+    """Run one architecture on one point — the *only* backend-selection
+    point, observed or not.
 
-    The one place backend selection lives: observable engines whose
-    config asks for the ``"vectorized"`` backend run with ``observers=()``
-    (the zero-observer contract — ``bandwidth_samples=[]``), which lets
-    the simulator take its numpy fast path (:mod:`repro.arch.fastpath`).
-    Everything else — non-observable baselines, ``backend="reference"``,
-    the banked DRAM model — runs through the engine's plain ``run``.
-    Aggregate results are bit-identical either way; callers that need
-    the per-step event stream (trace export, Fig 15 samples) attach
-    observers on ``engine.run`` directly instead of going through here.
+    Every caller routes through here (sweeps, the trace CLI,
+    ``capture_run``, the fig drivers), so the ``engine.run`` chaos site
+    covers observed and unobserved runs alike, and backend selection is
+    never made twice. With ``observers`` given, the request is forwarded
+    to the engine verbatim — the vectorized backend synthesizes the
+    event stream post-hoc at full speed, so observers never force a
+    downgrade; asking a non-observable architecture for observers raises
+    SP907 instead of being silently ignored. Without ``observers``,
+    observable engines on the vectorized backend run with ``observers=()``
+    (the zero-observer contract — ``bandwidth_samples=[]``) and
+    everything else takes the engine's plain ``run``. The backend
+    default comes from ``SparsepipeConfig`` — config objects missing the
+    attribute inherit the documented ``"vectorized"`` default, never a
+    silent reference-loop pin.
     """
     spec = get_arch(name)
     # Chaos-test site: lets the fault-injection harness prove the
@@ -188,11 +210,21 @@ def run_engine(
     maybe_raise("engine.run", f"{name}/{getattr(profile, 'name', '?')}")
     engine = spec.factory(config)
     cfg = config if config is not None else getattr(engine, "config", None)
+    if observers is not _OBSERVERS_UNSET:
+        if not spec.observable:
+            raise ConfigError(
+                f"[SP907] architecture {name!r} is not observable: it has "
+                "no event stream to honor an observers= request with "
+                f"(observable architectures: "
+                f"{tuple(n for n in arch_names() if get_arch(n).observable)})"
+            )
+        return engine.run(
+            profile, matrix, paper_nnz=paper_nnz, observers=observers
+        )
     if (
         spec.observable
         and cfg is not None
-        and getattr(cfg, "backend", "reference") == "vectorized"
-        and not getattr(cfg, "detailed_dram", False)
+        and getattr(cfg, "backend", _default_backend()) == "vectorized"
     ):
         return engine.run(profile, matrix, paper_nnz=paper_nnz, observers=())
     return engine.run(profile, matrix, paper_nnz=paper_nnz)

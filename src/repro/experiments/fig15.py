@@ -5,12 +5,14 @@ kcore-eu (compute-intensive), sssp-wi (skewed non-zeros ping-pong)."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.arch.stats import BandwidthSample
+from repro.engine.registry import run_engine
 from repro.experiments.report import format_bar_series
 from repro.experiments.runner import ExperimentContext, FIG15_PAIRS
+from repro.matrices.suite import SUITE
 
 
 @dataclass(frozen=True)
@@ -29,14 +31,20 @@ class Fig15Series:
 
 def run(context: Optional[ExperimentContext] = None) -> List[Fig15Series]:
     context = context or ExperimentContext()
-    # This figure needs the per-step bandwidth samples, which only the
-    # step-trace observer records — pin the reference backend so the
-    # simulator keeps the default observer instead of the numpy fast
-    # path (whose zero-observer contract is bandwidth_samples=[]).
-    sampled = replace(context.config, backend="reference")
     out: List[Fig15Series] = []
     for workload, matrix in FIG15_PAIRS:
-        result = context.simulate("sparsepipe", workload, matrix, config=sampled)
+        # This figure needs the per-step bandwidth samples: ask for the
+        # engine's default step-trace observer (observers=None). The
+        # vectorized backend synthesizes the event stream post-hoc, so
+        # sampling no longer costs a reference-loop run.
+        result = run_engine(
+            "sparsepipe",
+            context.config,
+            context.profile(workload, matrix),
+            context.prepared(matrix),
+            paper_nnz=SUITE[matrix].paper_nnz,
+            observers=None,
+        )
         speedup = context.speedup(workload, matrix, over="ideal")
         out.append(
             Fig15Series(workload, matrix, speedup, tuple(result.bandwidth_samples))

@@ -185,7 +185,9 @@ def mxm_dense(a: Matrix, b: np.ndarray, semiring: Semiring = MUL_ADD) -> np.ndar
     rows = np.repeat(np.arange(a.nrows, dtype=np.int64), csr.row_nnz())
     products = semiring.mul(csr.data[:, None], b[csr.indices])
     out = np.full((a.nrows, b.shape[1]), semiring.zero, dtype=np.float64)
-    semiring.add.op.ufunc.at(out, rows, products)
+    # rows is sorted (a repeat of arange) and out is identity-filled,
+    # which is exactly the specialized dense kernel's contract.
+    kernels.dense_update(semiring.add, out, rows, products)
     return out
 
 

@@ -15,7 +15,7 @@ from typing import Optional, Tuple, Union
 
 from repro.arch.config import SparsepipeConfig
 from repro.arch.stats import SimResult
-from repro.engine.registry import create_engine, get_arch
+from repro.engine.registry import get_arch, run_engine
 from repro.errors import ConfigError
 from repro.graphblas.matrix import Matrix
 from repro.matrices.suite import SUITE, load_suite_matrix
@@ -67,7 +67,7 @@ def capture_run(
     spec = get_arch(arch)
     if not spec.observable:
         raise ConfigError(
-            f"architecture {arch!r} does not stream instrumentation "
+            f"[SP907] architecture {arch!r} does not stream instrumentation "
             f"events; 'trace' supports observable engines only"
         )
     cfg = config or SparsepipeConfig()
@@ -77,10 +77,9 @@ def capture_run(
     )
     timeline = TimelineObserver()
     metrics_obs = MetricsObserver()
-    engine = create_engine(arch, cfg)
     with Stopwatch() as watch:
-        result = engine.run(
-            profile, prep, paper_nnz=SUITE[matrix].paper_nnz,
+        result = run_engine(
+            arch, cfg, profile, prep, paper_nnz=SUITE[matrix].paper_nnz,
             observers=[timeline, metrics_obs],
         )
     registry = metrics_obs.finalize(result)

@@ -31,8 +31,10 @@ import hashlib
 import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.arch.stats import TRAFFIC_CATEGORIES, SimResult, TrafficBreakdown
-from repro.engine.instrumentation import FILL_STEP, Observer
+from repro.engine.instrumentation import FILL_STEP, Observer, ReplayBatch
 
 #: Default histogram bucket upper bounds (cycles), roughly exponential.
 DEFAULT_BUCKETS = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0)
@@ -323,6 +325,79 @@ class MetricsObserver(Observer):
     def on_prefetch(self, step, n_bytes) -> None:
         self._prefetch_events.inc()
         self._prefetch_bytes.inc(n_bytes)
+
+    # ------------------------------------------------------------------
+    # Batched replay (vectorized backend)
+    # ------------------------------------------------------------------
+    def on_replay(self, batch: ReplayBatch) -> None:
+        """Consume one synthesized batch wholesale, via its columns.
+
+        Float counters must end on the *same* float the per-event
+        ``inc`` chain produces, so every per-counter column is folded
+        with ``cumsum`` seeded by the current value — a strict in-order
+        left fold, never a re-associated grouping (columns include the
+        zero amounts the reference hooks skip; adding them is the float
+        identity). Pure event *counts* collapse to one addition (exact
+        for integers in float64).
+        """
+        cols = batch.column_data()
+        fold = self._fold_counter
+        cyc = cols["cycles"]
+        fold(self._cycles, cyc)
+        if cols["n_real"]:
+            self._steps.value += cols["n_real"]
+        self._observe_hist(batch, cyc)
+        for stage, busy, stall in cols["stages"]:
+            counter = self._busy.get(stage)
+            if counter is not None:
+                fold(counter, busy)
+                fold(self._stall[stage], stall)
+        for cat, amounts in cols["dram"]:
+            fold(self._dram[cat], amounts)
+        if cols["n_evict"]:
+            self._evict_events.value += cols["n_evict"]
+        fold(self._evict_bytes, cols["evict"])
+        if cols["n_repack"]:
+            self._repacks.value += cols["n_repack"]
+        if cols["n_prefetch"]:
+            self._prefetch_events.value += cols["n_prefetch"]
+        fold(self._prefetch_bytes, cols["prefetch"])
+
+    @staticmethod
+    def _fold_counter(counter: Counter, amounts: np.ndarray) -> None:
+        """``counter.inc(a)`` for each amount, as one cumsum (the same
+        sequential left fold, bit for bit)."""
+        if amounts.size:
+            buf = np.empty(amounts.size + 1)
+            buf[0] = counter.value
+            buf[1:] = amounts
+            counter.value = float(buf.cumsum()[-1])
+
+    def _observe_hist(self, batch: ReplayBatch, cyc: np.ndarray) -> None:
+        hist = self._step_hist
+        if not cyc.size:
+            return
+        # Bucket assignment depends on the histogram's bounds (a shared
+        # registry may have pre-registered custom ones), so the bincount
+        # is cached on the batch per bounds tuple.
+        counts = batch.cache.get(("hist", hist.buckets))
+        if counts is None:
+            # observe() takes the first bound with value <= bound, which
+            # is exactly searchsorted's left insertion point.
+            idx = np.searchsorted(
+                np.asarray(hist.buckets), cyc, side="left"
+            )
+            counts = np.bincount(idx, minlength=len(hist.buckets) + 1).tolist()
+            batch.cache[("hist", hist.buckets)] = counts
+        buf = np.empty(cyc.size + 1)
+        buf[0] = hist.total
+        buf[1:] = cyc
+        hist.total = float(buf.cumsum()[-1])
+        hist.count += cyc.size
+        hist_counts = hist.counts
+        for i, n in enumerate(counts):
+            if n:
+                hist_counts[i] += n
 
     # ------------------------------------------------------------------
     # Finalization

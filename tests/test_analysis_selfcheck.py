@@ -227,6 +227,47 @@ class TestStepLoops:
         assert not selfcheck(tmp_path).has("SP905")
 
 
+class TestBackendPins:
+    def test_sp906_reference_backend_pin(self, tmp_path):
+        write_tree(tmp_path, {
+            "experiments/fig.py": """
+                def drive(context, points):
+                    return context.simulate_many(points, backend="reference")
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP906")
+
+    def test_sp906_pin_in_config_construction(self, tmp_path):
+        write_tree(tmp_path, {
+            "obs/capture.py": """
+                from repro.arch.config import SparsepipeConfig
+
+                def snapshot(profile, prep):
+                    cfg = SparsepipeConfig(backend="reference")
+                    return cfg
+            """,
+        })
+        assert selfcheck(tmp_path).has("SP906")
+
+    def test_vectorized_pin_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "experiments/fig.py": """
+                def drive(context, points):
+                    return context.simulate_many(points, backend="vectorized")
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP906")
+
+    def test_backend_variable_passthrough_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "experiments/fig.py": """
+                def drive(context, points, backend):
+                    return context.simulate_many(points, backend=backend)
+            """,
+        })
+        assert not selfcheck(tmp_path).has("SP906")
+
+
 class TestResilienceDeterminism:
     """SP904's hot-path scope now includes resilience/ — the fault
     injector must stay seed-derived."""

@@ -136,19 +136,21 @@ class TestSimulatorHeadToHead:
         ).run(profile, prep, observers=())
         assert_exact(ref, vec)
 
-    def test_observers_force_reference_fallback(self, contexts):
-        """A vectorized config with observers attached runs the
-        reference loop — the PR-3 event contract is untouched."""
+    def test_observers_stay_on_vectorized_backend(self, contexts):
+        """A vectorized config with observers attached stays on the
+        vectorized backend — batched event synthesis replays the PR-3
+        event stream post-hoc instead of falling back to the reference
+        loop, and the samples match bit for bit."""
         ref_ctx, _ = contexts
         profile = ref_ctx.profile("pr", "gy")
         prep = ref_ctx.prepared("gy")
         obs_ref, obs_vec = StepTraceObserver(), StepTraceObserver()
-        ref = SparsepipeSimulator(
-            SparsepipeConfig(backend="reference")
-        ).run(profile, prep, observers=(obs_ref,))
-        vec = SparsepipeSimulator(
-            SparsepipeConfig(backend="vectorized")
-        ).run(profile, prep, observers=(obs_vec,))
+        sim_ref = SparsepipeSimulator(SparsepipeConfig(backend="reference"))
+        ref = sim_ref.run(profile, prep, observers=(obs_ref,))
+        sim_vec = SparsepipeSimulator(SparsepipeConfig(backend="vectorized"))
+        vec = sim_vec.run(profile, prep, observers=(obs_vec,))
+        assert sim_ref.last_backend == "reference"
+        assert sim_vec.last_backend == "vectorized"  # no silent fallback
         assert_exact(ref, vec)
         assert obs_vec.samples(1.0) == obs_ref.samples(1.0)
         assert obs_vec.samples(1.0)  # the stream actually fired

@@ -22,9 +22,10 @@ from pathlib import Path
 
 import pytest
 
-from repro.errors import FormatError
+from repro.errors import FormatError, InjectedFault
 from repro.experiments.runner import ExperimentContext
 from repro.formats import read_matrix_market
+from repro.obs.capture import capture_run
 from repro.resilience import Fault, FaultPlan, activate, drain_fired
 
 SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1234"))
@@ -293,3 +294,19 @@ class TestChaosIngest:
             coo = read_matrix_market(path)
         assert coo.shape == (3, 3) and coo.nnz == 3
         assert drain_fired() == []
+
+
+class TestChaosObservedRun:
+    """Observed runs route through ``run_engine`` too, so the
+    ``engine.run`` site covers them — ``capture_run`` (the trace CLI's
+    substrate) is not a side door around the chaos harness."""
+
+    def test_capture_run_hits_engine_run_site(self):
+        plan = FaultPlan(seed=SEED, faults={
+            "engine.run": Fault(kind="raise", rate=1.0)})
+        with activate(plan):
+            with pytest.raises(InjectedFault):
+                capture_run("pr", matrix="gy")
+        fired = drain_fired()
+        sites = {d.location.split("[")[0] for d in fired}
+        assert "engine.run" in sites
